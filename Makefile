@@ -1,0 +1,41 @@
+# FractOS-Go build targets (stdlib only; no external deps).
+
+GO ?= go
+
+.PHONY: all build vet test race bench eval trace examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed"; exit 1)
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+eval:
+	$(GO) run ./cmd/fractos-bench
+
+trace:
+	$(GO) run ./cmd/fractos-trace
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/storage
+	$(GO) run ./examples/dataflow
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/faceverify
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,241 @@
+// Package repro benchmarks regenerate every table and figure of the
+// paper's evaluation (§6). The system under test runs on a
+// deterministic virtual clock, so wall-clock ns/op measures simulation
+// speed, not system performance; the paper-relevant results are
+// emitted as custom metrics (vus = virtual microseconds, MB/s, req/s)
+// and as the text tables printed by cmd/fractos-bench.
+package main
+
+import (
+	"testing"
+
+	"fractos/internal/exp"
+)
+
+// reportMetrics forwards an experiment's headline metrics through the
+// benchmark framework.
+func reportMetrics(b *testing.B, t *exp.Table, metrics map[string]string) {
+	b.Helper()
+	for key, unit := range metrics {
+		v, ok := t.Metrics[key]
+		if !ok {
+			b.Fatalf("metric %q missing (have %v)", key, t.Metrics)
+		}
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkTable3NullOp regenerates Table 3 (null-operation latency).
+func BenchmarkTable3NullOp(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Table3()
+	}
+	reportMetrics(b, t, map[string]string{
+		"table3.null-cpu-us":  "vus-cpu",
+		"table3.null-snic-us": "vus-snic",
+	})
+}
+
+// BenchmarkFigure2Traffic regenerates the Figure 2 traffic analysis.
+func BenchmarkFigure2Traffic(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure2()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig2.bytes-reduction":   "x-bytes",
+		"fig2.datamsg-reduction": "x-datamsgs",
+	})
+}
+
+// BenchmarkFigure5MemoryCopy regenerates Figure 5 (memory_copy
+// throughput vs size).
+func BenchmarkFigure5MemoryCopy(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure5()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig5.copy1b-cpu-us":     "vus-1B-cpu",
+		"fig5.copy256k-cpu-mbps": "MBps-256K",
+	})
+}
+
+// BenchmarkFigure6Invoke regenerates Figure 6 (RPC latency).
+func BenchmarkFigure6Invoke(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure6()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig6.rpc8-cpu1x-us": "vus-1x",
+		"fig6.rpc8-cpu2x-us": "vus-2x",
+	})
+}
+
+// BenchmarkFigure7Caps regenerates Figure 7 (delegation/revocation).
+func BenchmarkFigure7Caps(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure7()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig7.deleg1-cpu-us":         "vus-deleg",
+		"fig7.revoke8-shared-us":     "vus-revoke-shared",
+		"fig7.revoke8-individual-us": "vus-revoke-each",
+	})
+}
+
+// BenchmarkFigure8Pipeline regenerates Figure 8 (star / fast-star /
+// chain composition).
+func BenchmarkFigure8Pipeline(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure8()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig8.star-over-fast-64k": "x-64K",
+		"fig8.fast-over-chain-4k": "x-4K",
+	})
+}
+
+// BenchmarkFigure9GPU regenerates Figure 9 (GPU service vs rCUDA).
+func BenchmarkFigure9GPU(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure9()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig9.lat64-rcuda-over-fractos": "x-latency",
+		"fig9.tput4-fractos":            "reqps",
+	})
+}
+
+// BenchmarkFigure10Storage regenerates Figure 10 (storage latency).
+func BenchmarkFigure10Storage(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure10()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig10.read4k-dax-us":        "vus-dax-4k",
+		"fig10.read256K-dax-speedup": "x-dax-256K",
+	})
+}
+
+// BenchmarkFigure11StorageTput regenerates Figure 11 (storage
+// throughput).
+func BenchmarkFigure11StorageTput(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure11()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig11.rand-dax-mbps": "MBps-dax",
+		"fig11.rand-fs-mbps":  "MBps-fs",
+	})
+}
+
+// BenchmarkFigure12E2ELatency regenerates Figure 12 (end-to-end
+// latency; the paper's 47% headline).
+func BenchmarkFigure12E2ELatency(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure12()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig12.speedup32":        "x-speedup",
+		"fig12.lat32-fractos-ms": "vms-fractos",
+	})
+}
+
+// BenchmarkFigure13E2ETput regenerates Figure 13 (end-to-end
+// throughput).
+func BenchmarkFigure13E2ETput(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Figure13()
+	}
+	reportMetrics(b, t, map[string]string{
+		"fig13.tput4-fractos":  "reqps",
+		"fig13.tput4-baseline": "reqps-base",
+	})
+}
+
+// BenchmarkAblationDirect measures the mediated/composed/leased
+// storage-interface ablation.
+func BenchmarkAblationDirect(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationDirectComposition()
+	}
+	reportMetrics(b, t, map[string]string{
+		"abl-direct.fs-us":     "vus-fs",
+		"abl-direct.direct-us": "vus-direct",
+		"abl-direct.dax-us":    "vus-dax",
+	})
+}
+
+// BenchmarkAblationDoubleBuffer measures the double-buffering ablation.
+func BenchmarkAblationDoubleBuffer(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationDoubleBuffer()
+	}
+	reportMetrics(b, t, map[string]string{"abl-dbuf.gain-1m": "x-gain"})
+}
+
+// BenchmarkAblationConcurrentCopies measures §6.1's concurrent-copy
+// saturation.
+func BenchmarkAblationConcurrentCopies(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationConcurrentCopies()
+	}
+	reportMetrics(b, t, map[string]string{
+		"abl-conc-copy.cpu4k-1":  "MBps-1",
+		"abl-conc-copy.cpu4k-16": "MBps-16",
+	})
+}
+
+// BenchmarkAblationMessageComplexity measures §2.1's message counts.
+func BenchmarkAblationMessageComplexity(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationMessageComplexity()
+	}
+	reportMetrics(b, t, map[string]string{
+		"abl-msgs.ratio8": "x-star-over-chain",
+	})
+}
+
+// BenchmarkAblationWindow measures the congestion-window ablation.
+func BenchmarkAblationWindow(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationWindow()
+	}
+	reportMetrics(b, t, map[string]string{
+		"abl-window.w1":  "rpcps-w1",
+		"abl-window.w32": "rpcps-w32",
+	})
+}
+
+// BenchmarkAblationRevtreeDepth measures deep-tree revocation.
+func BenchmarkAblationRevtreeDepth(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationRevtreeDepth()
+	}
+	reportMetrics(b, t, map[string]string{"abl-revtree.d256-us": "vus-d256"})
+}
+
+// BenchmarkAblationPlacement measures controller-placement costs.
+func BenchmarkAblationPlacement(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.AblationPlacement()
+	}
+	reportMetrics(b, t, map[string]string{"abl-placement.shared-null-us": "vus-shared"})
+}

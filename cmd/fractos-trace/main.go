@@ -1,0 +1,109 @@
+// Command fractos-trace dumps a message-level trace of one
+// face-verification request on either the FractOS or the baseline
+// stack — the raw material behind Figure 2's traffic analysis.
+//
+// Usage:
+//
+//	fractos-trace             # trace the FractOS pipeline
+//	fractos-trace -baseline   # trace the NFS+NVMe-oF+rCUDA stack
+//	fractos-trace -batch 8    # request batch size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fractos/internal/app/faceverify"
+	"fractos/internal/core"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+func main() {
+	useBaseline := flag.Bool("baseline", false, "trace the baseline stack instead of FractOS")
+	batch := flag.Int("batch", 8, "request batch size")
+	flag.Parse()
+
+	cl := core.NewCluster(core.ClusterConfig{Nodes: 4})
+	cfg := faceverify.Config{Batch: *batch, Files: 1, Slots: 1}
+
+	done := false
+	cl.K.Spawn("trace-main", func(tk *sim.Task) {
+		defer func() { done = true }()
+		var verify func(*sim.Task, *faceverify.Request) ([]byte, error)
+		var db *faceverify.DB
+		if *useBaseline {
+			app, err := faceverify.SetupBaseline(tk, cl, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "setup:", err)
+				return
+			}
+			verify, db = app.VerifyBatch, app.DB
+		} else {
+			app, err := faceverify.SetupFractOS(tk, cl, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "setup:", err)
+				return
+			}
+			verify, db = app.VerifyBatch, app.DB
+		}
+
+		name := func(id fabric.EndpointID) string {
+			if ep, ok := cl.Net.Lookup(id); ok {
+				return fmt.Sprintf("%s(%v)", ep.Name, ep.Loc)
+			}
+			return fmt.Sprintf("ep%d", id)
+		}
+		sys := "FractOS"
+		if *useBaseline {
+			sys = "baseline"
+		}
+		fmt.Printf("=== one face-verification request, batch %d, %s ===\n", *batch, sys)
+		fmt.Printf("%-12s %-9s %-7s %8s  %s\n", "time", "kind", "class", "bytes", "path")
+		n := 0
+		cl.Net.SetTrace(func(e fabric.TraceEvent) {
+			kind := fmt.Sprintf("msg:%d", e.Type)
+			if e.RDMA {
+				kind = "rdma"
+			}
+			class := "ctrl"
+			if e.Class == wire.Data {
+				class = "DATA"
+			}
+			n++
+			fmt.Printf("%-12v %-9s %-7s %8d  %s -> %s\n", e.At, kind, class, e.Bytes, name(e.From), name(e.To))
+		})
+
+		req := faceverify.MakeRequest(db, 0, *batch, rand.New(rand.NewSource(1)))
+		before := cl.Net.Stats()
+		out, err := verify(tk, req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "request:", err)
+			return
+		}
+		cl.Net.SetTrace(nil)
+		d := cl.Net.Stats().Sub(before)
+		fmt.Printf("\nverdicts ok: %v\n", req.CheckResults(out))
+		fmt.Printf("totals: %d messages (%d control, %d data), %d bytes on the wire, %d cross-node\n",
+			d.TotalMsgs(), d.ControlMsgs, d.DataMsgs, d.TotalBytes(), d.CrossNodeMsgs)
+		if !*useBaseline {
+			fmt.Println("\ncontroller counters:")
+			for _, ctrl := range cl.Ctrls {
+				fmt.Printf("  ctrl%d@%v: %v\n", ctrl.ID(), ctrl.Loc(), ctrl.Metrics())
+				fp := ctrl.Footprint()
+				fmt.Printf("    footprint: %.1f MB total (%.0f MB proc queues, %.0f MB peer queues, %d B caps, %d B objects)\n",
+					float64(fp.Total())/1e6, float64(fp.ProcQueueBytes)/1e6,
+					float64(fp.PeerQueueBytes)/1e6, fp.CapSpaceBytes, fp.ObjectBytes)
+			}
+		}
+	})
+	cl.K.Run()
+	cl.K.Shutdown()
+	if !done {
+		fmt.Fprintln(os.Stderr, "trace did not complete")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module fractos
+
+go 1.22

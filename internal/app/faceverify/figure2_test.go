@@ -1,0 +1,83 @@
+package faceverify
+
+// TestFigure2VerbatimPipeline executes Figure 2's green path
+// literally, via the app's ring mode: a single frontend invocation
+// flows input SSD → GPU kernel → FS-composed output SSD → frontend.
+//
+//	frontend ──a──► input SSD ──b──► GPU kernel ──c──► FS(write-direct)
+//	                                                      │ composes
+//	                                                      ▼
+//	frontend ◄──────────e────────── output SSD ◄────d────┘
+//
+// The frontend sits on none of the data paths: images flow SSD→GPU,
+// verdicts flow GPU→output SSD; the frontend only uploads the small
+// probe descriptors and receives the completion notification.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fractos/internal/core"
+	"fractos/internal/sim"
+)
+
+func TestFigure2VerbatimPipeline(t *testing.T) {
+	runApp(t, core.CtrlOnCPU, func(tk *sim.Task, cl *core.Cluster) {
+		const batch = 16
+		app, err := SetupFractOS(tk, cl, Config{Batch: batch, Files: 2, Slots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.EnableRing(tk); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 4; i++ {
+			req := MakeRequest(app.DB, i%2, batch, rng)
+			verdicts, err := app.RingVerify(tk, req)
+			if err != nil {
+				t.Fatalf("ring request %d: %v", i, err)
+			}
+			if !req.CheckResults(verdicts) {
+				t.Fatalf("request %d: verdicts on output storage disagree with ground truth", i)
+			}
+		}
+	})
+}
+
+// TestRingConcurrent: multiple ring requests in flight share the slot
+// pool; each lands in its own output region.
+func TestRingConcurrent(t *testing.T) {
+	runApp(t, core.CtrlOnCPU, func(tk *sim.Task, cl *core.Cluster) {
+		const batch = 8
+		app, err := SetupFractOS(tk, cl, Config{Batch: batch, Files: 4, Slots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.EnableRing(tk); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		reqs := make([]*Request, 4)
+		for i := range reqs {
+			reqs[i] = MakeRequest(app.DB, i, batch, rng)
+		}
+		var wg sim.WaitGroup
+		wg.Add(len(reqs))
+		for _, r := range reqs {
+			r := r
+			cl.K.Spawn("ring-worker", func(wt *sim.Task) {
+				defer wg.Done()
+				verdicts, err := app.RingVerify(wt, r)
+				if err != nil {
+					t.Errorf("ring: %v", err)
+					return
+				}
+				if !r.CheckResults(verdicts) {
+					t.Error("concurrent ring verdicts wrong")
+				}
+			})
+		}
+		wg.Wait(tk)
+	})
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"fractos/internal/core"
+	"fractos/internal/device/gpu"
+	"fractos/internal/device/nvme"
+	"fractos/internal/sim"
+)
+
+func TestRCUDAMallocExhaustion(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 4096, LaunchOverhead: us(10)})
+		srv := NewRCUDAServer(cl.K, cl.Net, 1, dev)
+		cli := NewRCUDAClient(cl.K, cl.Net, 0, srv)
+		if _, err := cli.Malloc(tk, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Malloc(tk, 1); err == nil {
+			t.Fatal("over-allocation succeeded")
+		}
+	})
+}
+
+func TestRCUDAMemcpyBounds(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 4096, LaunchOverhead: us(10)})
+		srv := NewRCUDAServer(cl.K, cl.Net, 1, dev)
+		cli := NewRCUDAClient(cl.K, cl.Net, 0, srv)
+		addr, _ := cli.Malloc(tk, 1024)
+		if err := cli.MemcpyH2D(tk, addr, make([]byte, 8192)); err == nil {
+			t.Fatal("out-of-bounds H2D succeeded")
+		}
+		if _, err := cli.MemcpyD2H(tk, addr, 8192); err == nil {
+			t.Fatal("out-of-bounds D2H succeeded")
+		}
+	})
+}
+
+func TestRCUDAUnknownKernel(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		dev := gpu.NewDevice(cl.K, gpu.DefaultConfig())
+		srv := NewRCUDAServer(cl.K, cl.Net, 1, dev)
+		cli := NewRCUDAClient(cl.K, cl.Net, 0, srv)
+		if err := cli.Launch(tk, "ghost"); err == nil {
+			t.Fatal("launch of unknown kernel succeeded")
+		}
+	})
+}
+
+func TestNFSErrorPaths(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		dev := nvme.NewDevice(cl.K, nvme.DefaultConfig())
+		tg := NewNVMeoFTarget(cl.K, cl.Net, 2, dev)
+		ini := NewNVMeoFInitiator(cl.K, cl.Net, 1, tg, false)
+		srv := NewNFSServer(cl.K, cl.Net, 1, ini)
+		cli := NewNFSClient(cl.K, cl.Net, 0, srv)
+
+		if err := cli.Create(tk, "f", 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Create(tk, "f", 4096); err == nil {
+			t.Fatal("duplicate create succeeded")
+		}
+		fd, _, err := cli.Open(tk, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Read(tk, fd, 4000, 1000); err == nil {
+			t.Fatal("read past EOF succeeded")
+		}
+		if err := cli.Write(tk, fd, 4000, make([]byte, 1000)); err == nil {
+			t.Fatal("write past EOF succeeded")
+		}
+		if _, err := cli.Read(tk, 999, 0, 16); err == nil {
+			t.Fatal("read on bogus fd succeeded")
+		}
+	})
+}
+
+func TestNVMeoFAllocExhaustion(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		cfg := nvme.DefaultConfig()
+		cfg.Capacity = 1 << 20
+		dev := nvme.NewDevice(cl.K, cfg)
+		tg := NewNVMeoFTarget(cl.K, cl.Net, 2, dev)
+		ini := NewNVMeoFInitiator(cl.K, cl.Net, 0, tg, false)
+		if _, err := ini.Alloc(tk, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ini.Alloc(tk, 1); err == nil {
+			t.Fatal("over-allocation succeeded")
+		}
+	})
+}
+
+// TestPeerCallToDeadEndpoint: baseline RPCs to a severed endpoint fail
+// immediately instead of hanging.
+func TestPeerCallToDeadEndpoint(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		dev := nvme.NewDevice(cl.K, nvme.DefaultConfig())
+		tg := NewNVMeoFTarget(cl.K, cl.Net, 2, dev)
+		ini := NewNVMeoFInitiator(cl.K, cl.Net, 0, tg, false)
+		cl.Net.Disconnect(tg.Endpoint())
+		if _, err := ini.Alloc(tk, 4096); err == nil {
+			t.Fatal("call to severed target succeeded")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package cap defines the FractOS capability model (§3.5 of the
+// paper): global object references, rights, per-Process capability
+// spaces, and owner-side revocation trees.
+//
+// A capability names a Memory or Request object that is registered
+// with exactly one Controller (its owner). Internally a capability
+// holds the owning Controller's address, the object ID, and the
+// Controller's epoch (reboot counter); Processes only ever see opaque
+// indices (cids) into their capability space, mirroring POSIX file
+// descriptors.
+//
+// Delegation is untracked: it just installs another cap-space entry
+// pointing at the same object. Revocation invalidates the object (and
+// its revocation-tree descendants) at the owner, which is a single
+// message; stale entries elsewhere are purged by an asynchronous
+// cleanup broadcast and are also rejected on use because every use
+// contacts the owner.
+package cap
+
+import "fmt"
+
+// ControllerID addresses a FractOS Controller. IDs are assigned by the
+// deployment (the operator pre-deploys Controllers).
+type ControllerID uint32
+
+// ObjectID names an object within its owning Controller.
+type ObjectID uint64
+
+// Epoch is a Controller reboot counter. It increases monotonically on
+// every Controller restart; capabilities minted under an older epoch
+// are implicitly revoked (a simple form of Lamport timestamp, §3.6).
+type Epoch uint32
+
+// ProcID names a FractOS Process (application or device adaptor).
+type ProcID uint64
+
+// CapID is a Process-local capability index ("cid"). 0 is never a
+// valid cid.
+type CapID uint32
+
+// NilCap is the invalid capability index.
+const NilCap CapID = 0
+
+// Kind discriminates the two FractOS object types.
+type Kind uint8
+
+const (
+	// KindMemory is a Memory object: a registered buffer.
+	KindMemory Kind = iota + 1
+	// KindRequest is a Request object: an invocable RPC endpoint with
+	// preset arguments.
+	KindRequest
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMemory:
+		return "memory"
+	case KindRequest:
+		return "request"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Rights is a bitmask of authorities a capability conveys. Diminish
+// and delegation may only ever clear bits, never set them.
+type Rights uint8
+
+const (
+	// Read permits reading the memory object (source of memory_copy).
+	Read Rights = 1 << iota
+	// Write permits writing the memory object (target of memory_copy).
+	Write
+	// Invoke permits request_invoke on a Request object.
+	Invoke
+	// Grant permits delegating the capability onward (passing it as a
+	// Request argument) and deriving from it.
+	Grant
+)
+
+// All is the full rights mask appropriate for any object kind.
+const All = Read | Write | Invoke | Grant
+
+// MemRights are the rights meaningful for Memory objects.
+const MemRights = Read | Write | Grant
+
+// ReqRights are the rights meaningful for Request objects.
+const ReqRights = Invoke | Grant
+
+func (r Rights) String() string {
+	b := []byte("----")
+	if r&Read != 0 {
+		b[0] = 'r'
+	}
+	if r&Write != 0 {
+		b[1] = 'w'
+	}
+	if r&Invoke != 0 {
+		b[2] = 'i'
+	}
+	if r&Grant != 0 {
+		b[3] = 'g'
+	}
+	return string(b)
+}
+
+// Has reports whether r includes all rights in want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+// Diminish returns r with the drop bits cleared. The result is always
+// a subset of r (the monotonicity invariant the property tests check).
+func (r Rights) Diminish(drop Rights) Rights { return r &^ drop }
+
+// Ref is the global, location-independent name of a FractOS object:
+// the owning Controller, the object ID there, and the epoch the
+// reference was minted under.
+type Ref struct {
+	Ctrl  ControllerID
+	Obj   ObjectID
+	Epoch Epoch
+}
+
+// IsZero reports whether the Ref is the zero (invalid) reference.
+func (r Ref) IsZero() bool { return r == Ref{} }
+
+func (r Ref) String() string {
+	return fmt.Sprintf("ref(c%d/o%d/e%d)", r.Ctrl, r.Obj, r.Epoch)
+}
+
+// Entry is one slot of a Process's capability space, maintained by the
+// Process's Controller on its behalf.
+type Entry struct {
+	Ref    Ref
+	Kind   Kind
+	Rights Rights
+	// Size caches the extent of a Memory object so the Process can
+	// size buffers without a round trip; authoritative checks still
+	// happen at the owner.
+	Size uint64
+	// Monitored marks capabilities derived from a monitor_delegate
+	// target: further delegations must notify the owner (§3.6).
+	Monitored bool
+	// Leased marks entries whose object is a monitor_delegatee child
+	// created specifically for this holder: if the holder fails, its
+	// Controller revokes the child so the delegator observes the
+	// failure (§3.6's failure-translation model).
+	Leased bool
+}
+
+// Space is a Process's capability space: a table of entries indexed by
+// cid. Slots are reused after Drop to keep spaces compact.
+type Space struct {
+	entries map[CapID]Entry
+	next    CapID
+	free    []CapID
+}
+
+// NewSpace returns an empty capability space.
+func NewSpace() *Space {
+	return &Space{entries: make(map[CapID]Entry), next: 1}
+}
+
+// Install adds an entry and returns its new cid.
+func (s *Space) Install(e Entry) CapID {
+	var id CapID
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		id = s.next
+		s.next++
+	}
+	s.entries[id] = e
+	return id
+}
+
+// Lookup returns the entry for cid.
+func (s *Space) Lookup(id CapID) (Entry, bool) {
+	e, ok := s.entries[id]
+	return e, ok
+}
+
+// Update replaces the entry for an existing cid.
+func (s *Space) Update(id CapID, e Entry) bool {
+	if _, ok := s.entries[id]; !ok {
+		return false
+	}
+	s.entries[id] = e
+	return true
+}
+
+// Drop removes cid from the space, freeing the slot for reuse.
+func (s *Space) Drop(id CapID) bool {
+	if _, ok := s.entries[id]; !ok {
+		return false
+	}
+	delete(s.entries, id)
+	s.free = append(s.free, id)
+	return true
+}
+
+// Len reports the number of live entries.
+func (s *Space) Len() int { return len(s.entries) }
+
+// ForEach visits every live entry. Iteration order is unspecified; use
+// it only for operations that are order-insensitive (e.g. cleanup).
+func (s *Space) ForEach(fn func(CapID, Entry)) {
+	for id, e := range s.entries {
+		fn(id, e)
+	}
+}
+
+// PurgeRefs removes every entry whose Ref matches pred, returning the
+// removed cids. Used by the revocation cleanup broadcast and the
+// stale-epoch purge.
+//
+// Unlike Drop, purged slots are NOT recycled: the removal is initiated
+// by the OS, not the Process, so the Process may still hold the cid —
+// recycling it would silently alias a stale handle onto an unrelated
+// new capability. A purged cid stays permanently invalid instead.
+func (s *Space) PurgeRefs(pred func(Ref) bool) []CapID {
+	var dropped []CapID
+	for id, e := range s.entries {
+		if pred(e.Ref) {
+			dropped = append(dropped, id)
+		}
+	}
+	for _, id := range dropped {
+		delete(s.entries, id)
+	}
+	return dropped
+}

@@ -1,0 +1,186 @@
+package cap
+
+// Tree is the owner-side object registry of one Controller: every
+// Memory and Request object it owns, linked into revocation trees.
+//
+// FractOS replaces per-delegation capability trees with a much smaller
+// hierarchy of individually revocable *objects* (an adaptation of
+// Redell's caretaker pattern, §3.5): derivation (memory_diminish,
+// request_create-from-existing, cap_create_revtree) records the new
+// object as a child of its source, and revoking any object eagerly
+// invalidates its entire subtree — all locally, in the owning
+// Controller, so revocation is immediate and requires exactly one
+// message from the revoker.
+//
+// Tree is a passive data structure; the Controller serializes access.
+type Tree struct {
+	nodes  map[ObjectID]*Node
+	nextID ObjectID
+}
+
+// Node is one registered object.
+type Node struct {
+	ID       ObjectID
+	Parent   ObjectID // 0 = root
+	Children []ObjectID
+	Revoked  bool
+
+	// Payload is the Controller's object record (Memory or Request
+	// metadata). The tree does not interpret it.
+	Payload interface{}
+
+	// Monitoring state (§3.6). MonitorDelegator means delegations of
+	// caps to this object must create child nodes and count them;
+	// the callback fires when the child count returns to zero.
+	MonitorDelegator bool
+	DelegateeCount   int
+	DelegatorProc    ProcID
+	DelegatorCB      uint64
+	// MonitorDelegatee marks nodes created on behalf of a delegation
+	// of a monitored parent.
+	MonitorDelegatee bool
+
+	// Watchers are monitor_receive registrations: (proc, callback)
+	// pairs to notify when this object is invalidated.
+	Watchers []Watcher
+}
+
+// Watcher is a monitor_receive registration. Ctrl is the Controller
+// managing the watching Process, so the owner can route the callback.
+type Watcher struct {
+	Proc     ProcID
+	Ctrl     ControllerID
+	Callback uint64
+}
+
+// NewTree returns an empty object registry.
+func NewTree() *Tree {
+	return &Tree{nodes: make(map[ObjectID]*Node)}
+}
+
+// Create registers a new root object and returns its node.
+func (t *Tree) Create(payload interface{}) *Node {
+	return t.insert(0, payload)
+}
+
+// Derive registers a new object as a child of parent. It returns nil
+// if the parent does not exist or is revoked.
+func (t *Tree) Derive(parent ObjectID, payload interface{}) *Node {
+	p, ok := t.nodes[parent]
+	if !ok || p.Revoked {
+		return nil
+	}
+	n := t.insert(parent, payload)
+	p.Children = append(p.Children, n.ID)
+	return n
+}
+
+func (t *Tree) insert(parent ObjectID, payload interface{}) *Node {
+	t.nextID++
+	n := &Node{ID: t.nextID, Parent: parent, Payload: payload}
+	t.nodes[n.ID] = n
+	return n
+}
+
+// Get returns the node for id if it exists and is not revoked.
+func (t *Tree) Get(id ObjectID) (*Node, bool) {
+	n, ok := t.nodes[id]
+	if !ok || n.Revoked {
+		return nil, false
+	}
+	return n, true
+}
+
+// GetAny returns the node even if revoked (for cleanup bookkeeping).
+func (t *Tree) GetAny(id ObjectID) (*Node, bool) {
+	n, ok := t.nodes[id]
+	return n, ok
+}
+
+// Revoke invalidates the object and, recursively, all its descendant
+// objects. It returns the nodes invalidated by this call in
+// deterministic (pre-order, creation-order) sequence, so the
+// Controller can fire monitor callbacks and schedule the cleanup
+// broadcast. Revoking an unknown or already revoked object returns
+// nil.
+func (t *Tree) Revoke(id ObjectID) []*Node {
+	n, ok := t.nodes[id]
+	if !ok || n.Revoked {
+		return nil
+	}
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n.Revoked {
+			return
+		}
+		n.Revoked = true
+		out = append(out, n)
+		for _, c := range n.Children {
+			if cn, ok := t.nodes[c]; ok {
+				walk(cn)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Remove erases a revoked node once the cleanup pass has confirmed no
+// capabilities reference it. Only revoked leaf bookkeeping is erased;
+// children are assumed removed first (Revoke returns pre-order, so
+// removing in reverse order is safe).
+func (t *Tree) Remove(id ObjectID) {
+	n, ok := t.nodes[id]
+	if !ok || !n.Revoked {
+		return
+	}
+	if p, ok := t.nodes[n.Parent]; ok {
+		for i, c := range p.Children {
+			if c == id {
+				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(t.nodes, id)
+}
+
+// Len reports the number of registered objects (including revoked ones
+// awaiting cleanup).
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// LiveLen reports the number of non-revoked objects.
+func (t *Tree) LiveLen() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if !nd.Revoked {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every node (live and revoked) in creation order.
+func (t *Tree) ForEach(fn func(*Node)) {
+	for id := ObjectID(1); id <= t.nextID; id++ {
+		if n, ok := t.nodes[id]; ok {
+			fn(n)
+		}
+	}
+}
+
+// Ancestor reports whether anc is id itself or one of its ancestors.
+func (t *Tree) Ancestor(anc, id ObjectID) bool {
+	for id != 0 {
+		if id == anc {
+			return true
+		}
+		n, ok := t.nodes[id]
+		if !ok {
+			return false
+		}
+		id = n.Parent
+	}
+	return false
+}

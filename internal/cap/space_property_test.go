@@ -1,0 +1,93 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: under random install/drop/update churn, a Space behaves
+// exactly like a map with fd-style slot reuse — every lookup returns
+// the most recently installed entry for that slot, live cids are
+// unique, and Len always matches the model.
+func TestSpaceShadowModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		model := map[CapID]Entry{}
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(3) {
+			case 0: // install
+				e := Entry{
+					Ref:    Ref{Ctrl: ControllerID(rng.Intn(4)), Obj: ObjectID(rng.Intn(1000))},
+					Kind:   Kind(1 + rng.Intn(2)),
+					Rights: Rights(rng.Intn(16)),
+					Size:   uint64(rng.Intn(4096)),
+				}
+				id := s.Install(e)
+				if _, taken := model[id]; taken {
+					return false // reused a live cid
+				}
+				model[id] = e
+			case 1: // drop a random live entry
+				if len(model) == 0 {
+					continue
+				}
+				id := pickKey(rng, model)
+				if !s.Drop(id) {
+					return false
+				}
+				delete(model, id)
+			case 2: // update a random live entry
+				if len(model) == 0 {
+					continue
+				}
+				id := pickKey(rng, model)
+				e := model[id]
+				e.Rights = Rights(rng.Intn(16))
+				if !s.Update(id, e) {
+					return false
+				}
+				model[id] = e
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		// Full final comparison.
+		for id, want := range model {
+			got, ok := s.Lookup(id)
+			if !ok || got != want {
+				return false
+			}
+		}
+		count := 0
+		s.ForEach(func(id CapID, e Entry) {
+			if model[id] != e {
+				count = -1 << 30
+			}
+			count++
+		})
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pickKey selects a deterministic pseudo-random key: smallest key with
+// rank rng.Intn(len) in sorted order.
+func pickKey(rng *rand.Rand, m map[CapID]Entry) CapID {
+	keys := make([]CapID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys[rng.Intn(len(keys))]
+}

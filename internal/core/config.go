@@ -1,0 +1,126 @@
+// Package core implements the FractOS Controller: the trusted,
+// isolated OS layer of §3. Controllers own Memory and Request objects,
+// maintain per-Process capability spaces, route and validate every
+// operation, orchestrate third-party memory copies, and translate
+// failures into capability revocations.
+//
+// Controllers run as tasks on the simulated cluster and can be
+// deployed on a node's host CPU or its SmartNIC (§6 evaluates both);
+// the deployment only changes where the Controller's endpoint attaches
+// and which column of the operation-cost table applies.
+package core
+
+import (
+	"time"
+
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+)
+
+// OpCost is the Controller processing time of one operation class for
+// the two deployment targets. The SmartNIC column is slower: the
+// BlueField's 800 MHz ARM cores pay heavily for the atomic-rich
+// capability and object lookups (§6.1).
+type OpCost struct {
+	CPU  sim.Time
+	SNIC sim.Time
+}
+
+// On selects the cost for a deployment domain.
+func (c OpCost) On(d fabric.Domain) sim.Time {
+	if d == fabric.SNIC {
+		return c.SNIC
+	}
+	return c.CPU
+}
+
+const usec = sim.Time(time.Microsecond)
+
+// Perf is the Controller's operation-cost model, calibrated against
+// the paper's micro-benchmarks (§6.1; see DESIGN.md §7).
+type Perf struct {
+	// Null: base syscall handling (Table 3: 3.00-2.42=0.58 µs CPU,
+	// 4.50-3.68=0.82 µs sNIC).
+	Null OpCost
+	// ReqHandle: request invocation handling per Controller pass
+	// (Figure 6: 1.41 µs CPU / 5.11 µs sNIC both ways).
+	ReqHandle OpCost
+	// CtrlSerial: additional (de)serialization when an invocation
+	// crosses Controllers (Figure 6: +4.41 µs CPU / +12.21 µs sNIC
+	// both ways, minus the extra network hops).
+	CtrlSerial OpCost
+	// PerCap: per-capability delegation cost per side (Figure 7:
+	// ~2.4 µs CPU / 3.8 µs sNIC per capability round trip).
+	PerCap OpCost
+	// MemOp: memory-operation orchestration (validate + bounce setup).
+	MemOp OpCost
+	// PerChunk: per-bounce-chunk handling during memory_copy.
+	PerChunk OpCost
+	// CapOp: revocation/revtree/diminish handling.
+	CapOp OpCost
+}
+
+// DefaultPerf returns the calibrated cost model.
+func DefaultPerf() Perf {
+	return Perf{
+		Null:       OpCost{CPU: 580, SNIC: 820},
+		ReqHandle:  OpCost{CPU: 700, SNIC: 2550},
+		CtrlSerial: OpCost{CPU: 1000, SNIC: 3900},
+		PerCap:     OpCost{CPU: 1200, SNIC: 1900},
+		MemOp:      OpCost{CPU: 900, SNIC: 2800},
+		PerChunk:   OpCost{CPU: 350, SNIC: 1200},
+		CapOp:      OpCost{CPU: 600, SNIC: 1900},
+	}
+}
+
+// Config parameterizes one Controller instance.
+type Config struct {
+	// Loc places the Controller (host CPU or SmartNIC of a node).
+	Loc fabric.Location
+	// Perf is the operation-cost model; zero value means DefaultPerf.
+	Perf Perf
+	// Window bounds outstanding (unacknowledged) deliveries per
+	// managed Process — the congestion-control back-pressure of §4.
+	// 0 means DefaultWindow.
+	Window int
+	// HWCopies switches memory_copy from bounce buffers to third-party
+	// RDMA (the "HW copies" model of Figure 5).
+	HWCopies bool
+	// BounceChunk is the bounce-buffer chunk size; copies larger than
+	// this use double buffering (§6.1: 16 KiB). 0 means default.
+	BounceChunk int
+	// BouncePairs is how many concurrent copies the bounce pool
+	// admits (each needs two chunks). 0 means default.
+	BouncePairs int
+	// SingleBuffer disables double buffering in memory_copy (the
+	// ablation of DESIGN.md §6): each chunk's write-out completes
+	// before the next chunk's read begins.
+	SingleBuffer bool
+	// CapQuota caps the number of live capability-space entries per
+	// managed Process (§4's quota on capability-space memory).
+	// 0 means unlimited.
+	CapQuota int
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultWindow      = 32
+	DefaultBounceChunk = 16 << 10
+	DefaultBouncePairs = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.Perf == (Perf{}) {
+		c.Perf = DefaultPerf()
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.BounceChunk == 0 {
+		c.BounceChunk = DefaultBounceChunk
+	}
+	if c.BouncePairs == 0 {
+		c.BouncePairs = DefaultBouncePairs
+	}
+	return c
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fractos/internal/cap"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// Controller is one trusted FractOS Controller instance. It owns the
+// objects registered with it, maintains the capability spaces of the
+// Processes it manages, and exchanges the inter-Controller protocol
+// with its peers.
+//
+// A Controller is driven by a single task (Start); all handlers run in
+// that task, serialized, with processing time modeled by the Perf
+// table. Multi-round operations (remote derivations, memory copies)
+// park their continuation in the pending table or run as spawned
+// sub-tasks so the main loop stays responsive.
+type Controller struct {
+	id    cap.ControllerID
+	cfg   Config
+	k     *sim.Kernel
+	net   *fabric.Net
+	ep    *fabric.Endpoint
+	epoch cap.Epoch
+
+	tree  *cap.Tree
+	procs map[cap.ProcID]*procState
+	byEP  map[fabric.EndpointID]*procState
+
+	peers      map[cap.ControllerID]fabric.EndpointID
+	peerEPs    map[fabric.EndpointID]bool
+	peerEpochs map[cap.ControllerID]cap.Epoch
+
+	pending   map[uint64]pendingCall
+	nextToken uint64
+
+	bounceFree []int          // free bounce-chunk offsets in our arena
+	bounceSem  *sim.Semaphore // admits BouncePairs concurrent copies
+
+	metrics Metrics
+	down    bool
+}
+
+// pendingCall is an outstanding inter-Controller request awaiting its
+// response. The peer is recorded so calls can be aborted when that
+// Controller is observed to have failed or rebooted.
+type pendingCall struct {
+	peer cap.ControllerID
+	cb   func(wire.Message)
+}
+
+// procState is the Controller-side record of one managed Process.
+type procState struct {
+	id     cap.ProcID
+	ep     *fabric.Endpoint
+	space  *cap.Space
+	failed bool
+
+	window      int // remaining delivery credits (congestion control)
+	deliverSeq  uint64
+	outstanding map[uint64]struct{}
+	queue       []*wire.Deliver
+}
+
+// New creates a Controller with the given identity and configuration,
+// attached to the fabric at cfg.Loc. Call Start to begin serving.
+func New(k *sim.Kernel, net *fabric.Net, id cap.ControllerID, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	arena := cfg.BouncePairs * 2 * cfg.BounceChunk
+	c := &Controller{
+		id:         id,
+		cfg:        cfg,
+		k:          k,
+		net:        net,
+		ep:         net.Attach(fmt.Sprintf("ctrl%d@%v", id, cfg.Loc), cfg.Loc, arena),
+		epoch:      1,
+		tree:       cap.NewTree(),
+		procs:      make(map[cap.ProcID]*procState),
+		byEP:       make(map[fabric.EndpointID]*procState),
+		peers:      make(map[cap.ControllerID]fabric.EndpointID),
+		peerEPs:    make(map[fabric.EndpointID]bool),
+		peerEpochs: make(map[cap.ControllerID]cap.Epoch),
+		pending:    make(map[uint64]pendingCall),
+		bounceSem:  sim.NewSemaphore(cfg.BouncePairs),
+	}
+	for i := 0; i < cfg.BouncePairs*2; i++ {
+		c.bounceFree = append(c.bounceFree, i*cfg.BounceChunk)
+	}
+	return c
+}
+
+// ID returns the Controller's address.
+func (c *Controller) ID() cap.ControllerID { return c.id }
+
+// Epoch returns the Controller's current reboot counter.
+func (c *Controller) Epoch() cap.Epoch { return c.epoch }
+
+// EndpointID returns the Controller's fabric endpoint.
+func (c *Controller) EndpointID() fabric.EndpointID { return c.ep.ID }
+
+// Loc returns where the Controller is deployed.
+func (c *Controller) Loc() fabric.Location { return c.cfg.Loc }
+
+// AddPeer registers another Controller in the deployment directory.
+func (c *Controller) AddPeer(id cap.ControllerID, ep fabric.EndpointID) {
+	c.peers[id] = ep
+	c.peerEPs[ep] = true
+	c.peerEpochs[id] = 1
+}
+
+// AttachProcess registers a Process to be managed by this Controller.
+// The Process's endpoint (and RDMA arena) lives at loc, which need not
+// equal the Controller's own location: §6 evaluates co-located,
+// SmartNIC, and remote ("Shared HAL") deployments.
+func (c *Controller) AttachProcess(pid cap.ProcID, name string, loc fabric.Location, arenaSize int) *fabric.Endpoint {
+	ep := c.net.Attach(name, loc, arenaSize)
+	ps := &procState{
+		id:          pid,
+		ep:          ep,
+		space:       cap.NewSpace(),
+		window:      c.cfg.Window,
+		outstanding: make(map[uint64]struct{}),
+	}
+	c.procs[pid] = ps
+	c.byEP[ep.ID] = ps
+	return ep
+}
+
+// EntryOf exposes a Process's capability-space entry. It is a
+// TCB-internal hook used by the deployment bootstrap (the paper's
+// trusted key/value service) and by tests.
+func (c *Controller) EntryOf(pid cap.ProcID, cid cap.CapID) (cap.Entry, bool) {
+	ps, ok := c.procs[pid]
+	if !ok {
+		return cap.Entry{}, false
+	}
+	return ps.space.Lookup(cid)
+}
+
+// GrantEntry installs an entry directly into a managed Process's
+// capability space — the bootstrap path by which the operator hands a
+// new Process its initial capabilities.
+func (c *Controller) GrantEntry(pid cap.ProcID, e cap.Entry) (cap.CapID, bool) {
+	ps, ok := c.procs[pid]
+	if !ok || ps.failed {
+		return cap.NilCap, false
+	}
+	cid, st := c.install(ps, e)
+	return cid, st == wire.StatusOK
+}
+
+// install adds an entry to a Process's capability space, enforcing the
+// per-Process quota (§4).
+func (c *Controller) install(ps *procState, e cap.Entry) (cap.CapID, wire.Status) {
+	if q := c.cfg.CapQuota; q > 0 && ps.space.Len() >= q {
+		c.metrics.QuotaRejected++
+		return cap.NilCap, wire.StatusQuota
+	}
+	return ps.space.Install(e), wire.StatusOK
+}
+
+// ObjectCount reports live objects owned by this Controller (for
+// tests and resource accounting).
+func (c *Controller) ObjectCount() int { return c.tree.LiveLen() }
+
+// Start spawns the Controller's serving task.
+func (c *Controller) Start() {
+	c.k.Spawn(c.ep.Name, func(t *sim.Task) { c.serve(t) })
+}
+
+func (c *Controller) serve(t *sim.Task) {
+	for {
+		d, ok := c.ep.Inbox.Recv(t)
+		if !ok {
+			return
+		}
+		if c.down {
+			continue
+		}
+		if cost := c.cost(d.Msg); cost > 0 {
+			t.Sleep(cost)
+		}
+		c.dispatch(t, d)
+	}
+}
+
+// cost models the Controller's processing time for a message,
+// according to the deployment domain (host CPU vs SmartNIC).
+func (c *Controller) cost(m wire.Message) sim.Time {
+	dom := c.cfg.Loc.Domain
+	p := &c.cfg.Perf
+	switch m := m.(type) {
+	case *wire.Null, *wire.DeliverDone, *wire.ProcBye:
+		return p.Null.On(dom)
+	case *wire.MemCreate, *wire.MemDiminish, *wire.CapRevtree,
+		*wire.CapRevoke, *wire.CapDrop, *wire.MonitorDelegate, *wire.MonitorReceive:
+		return p.CapOp.On(dom)
+	case *wire.MemCopy:
+		return p.MemOp.On(dom)
+	case *wire.ReqCreate:
+		return p.ReqHandle.On(dom) + sim.Time(len(m.Caps))*p.PerCap.On(dom)
+	case *wire.ReqInvoke:
+		return p.ReqHandle.On(dom) + sim.Time(len(m.Caps))*p.PerCap.On(dom)
+	case *wire.CtrlInvoke:
+		return p.ReqHandle.On(dom) + p.CtrlSerial.On(dom) + sim.Time(len(m.Caps))*p.PerCap.On(dom)
+	case *wire.CtrlDeriveReq:
+		return p.CapOp.On(dom) + p.CtrlSerial.On(dom) + sim.Time(len(m.Caps))*p.PerCap.On(dom)
+	case *wire.CtrlDeriveMem, *wire.CtrlRevtree, *wire.CtrlRevoke, *wire.CtrlWatch:
+		return p.CapOp.On(dom) + p.CtrlSerial.On(dom)
+	case *wire.CtrlValidate:
+		return p.Null.On(dom)
+	case *wire.CtrlAck, *wire.CtrlValInfo, *wire.CtrlDelegNoteAck,
+		*wire.CtrlCleanup, *wire.CtrlNotify, *wire.CtrlEpoch:
+		return p.Null.On(dom)
+	default:
+		return p.Null.On(dom)
+	}
+}
+
+func (c *Controller) dispatch(t *sim.Task, d fabric.Delivery) {
+	// Processes are untrusted (§3.2): anything arriving from a managed
+	// Process is a syscall, never Controller protocol — otherwise a
+	// malicious Process could forge acks for our pending calls or
+	// inject derivations.
+	if ps, fromProc := c.byEP[d.From]; fromProc {
+		if ps.failed {
+			return
+		}
+		c.dispatchSyscall(t, ps, d.Msg)
+		return
+	}
+
+	// Only pre-deployed peer Controllers speak the Controller
+	// protocol; traffic from any other endpoint is dropped.
+	if !c.peerEPs[d.From] {
+		return
+	}
+
+	// Responses to our own inter-Controller calls.
+	switch m := d.Msg.(type) {
+	case *wire.CtrlAck:
+		c.resolvePending(m.Token, m)
+		return
+	case *wire.CtrlValInfo:
+		c.resolvePending(m.Token, m)
+		return
+	case *wire.CtrlDelegNoteAck:
+		c.resolvePending(m.Token, m)
+		return
+	}
+	c.dispatchPeer(t, d.From, d.Msg)
+}
+
+func (c *Controller) dispatchSyscall(t *sim.Task, ps *procState, m wire.Message) {
+	switch m := m.(type) {
+	case *wire.Null:
+		c.metrics.NullOps++
+		c.complete(ps, m.Token, wire.StatusOK, cap.NilCap, 0)
+	case *wire.MemCreate:
+		c.metrics.MemOps++
+		c.handleMemCreate(ps, m)
+	case *wire.MemDiminish:
+		c.metrics.MemOps++
+		c.handleMemDiminish(ps, m)
+	case *wire.MemCopy:
+		c.metrics.Copies++
+		c.handleMemCopy(ps, m)
+	case *wire.ReqCreate:
+		c.metrics.ReqCreates++
+		c.handleReqCreate(ps, m)
+	case *wire.ReqInvoke:
+		c.metrics.Invokes++
+		c.handleReqInvoke(t, ps, m)
+	case *wire.CapRevtree:
+		c.metrics.CapOps++
+		c.handleCapRevtree(ps, m)
+	case *wire.CapRevoke:
+		c.metrics.CapOps++
+		c.handleCapRevoke(ps, m)
+	case *wire.CapDrop:
+		c.metrics.CapOps++
+		c.handleCapDrop(ps, m)
+	case *wire.MonitorDelegate:
+		c.metrics.CapOps++
+		c.handleMonitorDelegate(ps, m)
+	case *wire.MonitorReceive:
+		c.metrics.CapOps++
+		c.handleMonitorReceive(ps, m)
+	case *wire.DeliverDone:
+		c.handleDeliverDone(ps, m)
+	case *wire.ProcBye:
+		c.procFailed(ps)
+	default:
+		// Unknown or disallowed (e.g. a Process sending Controller
+		// protocol): ignore. Processes are untrusted (§3.2).
+	}
+}
+
+func (c *Controller) dispatchPeer(t *sim.Task, from fabric.EndpointID, m wire.Message) {
+	switch m := m.(type) {
+	case *wire.CtrlDeriveMem:
+		c.peerDeriveMem(from, m)
+	case *wire.CtrlDeriveReq:
+		c.peerDeriveReq(from, m)
+	case *wire.CtrlRevtree:
+		c.peerRevtree(from, m)
+	case *wire.CtrlRevoke:
+		c.peerRevoke(from, m)
+	case *wire.CtrlValidate:
+		c.peerValidate(from, m)
+	case *wire.CtrlInvoke:
+		c.peerInvoke(t, from, m)
+	case *wire.CtrlCleanup:
+		c.peerCleanup(from, m)
+	case *wire.CtrlWatch:
+		c.peerWatch(from, m)
+	case *wire.CtrlNotify:
+		c.peerNotify(m)
+	case *wire.CtrlEpoch:
+		c.peerEpoch(m)
+	default:
+		// Ignore unknown peer traffic.
+	}
+}
+
+// complete sends a syscall completion back to the Process.
+func (c *Controller) complete(ps *procState, token uint64, st wire.Status, cid cap.CapID, aux uint64) {
+	if ps.failed {
+		return
+	}
+	c.net.Send(c.ep.ID, ps.ep.ID, &wire.Completion{Token: token, Status: st, Cid: cid, Aux: aux})
+}
+
+// call issues an inter-Controller request; cb runs in the serving task
+// when the matching response arrives.
+func (c *Controller) call(peer cap.ControllerID, build func(token uint64) wire.Message, cb func(wire.Message)) {
+	ep, ok := c.peers[peer]
+	if !ok {
+		cb(&wire.CtrlAck{Status: wire.StatusUnknownObj})
+		return
+	}
+	c.nextToken++
+	token := c.nextToken
+	c.pending[token] = pendingCall{peer: peer, cb: cb}
+	if !c.net.Send(c.ep.ID, ep, build(token)) {
+		delete(c.pending, token)
+		cb(&wire.CtrlAck{Status: wire.StatusNoProc})
+	}
+}
+
+// callF is call with a future, for spawned sub-tasks.
+func (c *Controller) callF(peer cap.ControllerID, build func(token uint64) wire.Message) *sim.Future[wire.Message] {
+	f := sim.NewFuture[wire.Message](c.k)
+	c.call(peer, build, func(m wire.Message) { f.Set(m) })
+	return f
+}
+
+func (c *Controller) resolvePending(token uint64, m wire.Message) {
+	pc, ok := c.pending[token]
+	if !ok {
+		return
+	}
+	delete(c.pending, token)
+	pc.cb(m)
+}
+
+// abortPendingTo fails every outstanding call addressed to a peer that
+// has been observed dead or rebooted, so syscalls waiting on it
+// complete with an error instead of hanging.
+func (c *Controller) abortPendingTo(peer cap.ControllerID) {
+	var tokens []uint64
+	for tok, pc := range c.pending {
+		if pc.peer == peer {
+			tokens = append(tokens, tok)
+		}
+	}
+	// Deterministic order.
+	for i := 0; i < len(tokens); i++ {
+		for j := i + 1; j < len(tokens); j++ {
+			if tokens[j] < tokens[i] {
+				tokens[i], tokens[j] = tokens[j], tokens[i]
+			}
+		}
+	}
+	for _, tok := range tokens {
+		pc := c.pending[tok]
+		delete(c.pending, tok)
+		pc.cb(&wire.CtrlAck{Token: tok, Status: wire.StatusAborted})
+	}
+}
+
+// ref builds a Ref for an object owned by this Controller.
+func (c *Controller) ref(obj cap.ObjectID) cap.Ref {
+	return cap.Ref{Ctrl: c.id, Obj: obj, Epoch: c.epoch}
+}
+
+// resolveOwned returns the live node for a Ref owned by this
+// Controller, checking epoch and revocation.
+func (c *Controller) resolveOwned(ref cap.Ref) (*cap.Node, wire.Status) {
+	if ref.Ctrl != c.id {
+		return nil, wire.StatusUnknownObj
+	}
+	if ref.Epoch != c.epoch {
+		return nil, wire.StatusStale
+	}
+	n, ok := c.tree.Get(ref.Obj)
+	if !ok {
+		if _, existed := c.tree.GetAny(ref.Obj); existed {
+			return nil, wire.StatusRevoked
+		}
+		return nil, wire.StatusRevoked
+	}
+	return n, wire.StatusOK
+}
+
+// resolveEntry fetches a live capability-space entry with required
+// rights and kind.
+func (c *Controller) resolveEntry(ps *procState, cid cap.CapID, kind cap.Kind, need cap.Rights) (cap.Entry, wire.Status) {
+	e, ok := ps.space.Lookup(cid)
+	if !ok {
+		return cap.Entry{}, wire.StatusNoCap
+	}
+	if kind != 0 && e.Kind != kind {
+		return e, wire.StatusKind
+	}
+	if !e.Rights.Has(need) {
+		return e, wire.StatusPerm
+	}
+	// Eager stale-epoch detection (§3.6): if we know the owner
+	// rebooted past this entry's epoch, it is implicitly revoked.
+	if e.Ref.Ctrl == c.id {
+		if e.Ref.Epoch != c.epoch {
+			c.metrics.StaleRejected++
+			return e, wire.StatusStale
+		}
+	} else if known, ok := c.peerEpochs[e.Ref.Ctrl]; ok && e.Ref.Epoch < known {
+		c.metrics.StaleRejected++
+		return e, wire.StatusStale
+	}
+	return e, wire.StatusOK
+}
+
+// resolveCapSlots turns syscall capability arguments (cids) into
+// transferable capability arguments, enforcing the Grant right.
+func (c *Controller) resolveCapSlots(ps *procState, slots []wire.CapSlot) ([]capSlotArg, wire.Status) {
+	args := make([]capSlotArg, 0, len(slots))
+	for _, s := range slots {
+		e, st := c.resolveEntry(ps, s.Cid, 0, cap.Grant)
+		if st != wire.StatusOK {
+			return nil, st
+		}
+		arg := capArg{ref: e.Ref, kind: e.Kind, rights: e.Rights, size: e.Size, monitored: e.Monitored}
+		// Delegating a monitored capability creates a separately
+		// revocable child at the owner so the delegator can observe
+		// its destruction (§3.6). Monitored entries only exist at the
+		// owner's own Controller (monitor_delegate is owner-local), so
+		// this derivation is always local.
+		if e.Monitored && e.Ref.Ctrl == c.id {
+			child, st := c.deriveDelegatee(e.Ref)
+			if st != wire.StatusOK {
+				return nil, st
+			}
+			arg.ref = child
+			arg.monitored = false
+			arg.leased = true
+		}
+		args = append(args, capSlotArg{slot: s.Slot, arg: arg})
+	}
+	return args, wire.StatusOK
+}
+
+// deriveDelegatee creates a monitor_delegatee child of a monitored
+// object.
+func (c *Controller) deriveDelegatee(ref cap.Ref) (cap.Ref, wire.Status) {
+	n, st := c.resolveOwned(ref)
+	if st != wire.StatusOK {
+		return cap.Ref{}, st
+	}
+	child := c.tree.Derive(n.ID, n.Payload)
+	if child == nil {
+		return cap.Ref{}, wire.StatusRevoked
+	}
+	child.MonitorDelegatee = true
+	n.DelegateeCount++
+	return c.ref(child.ID), wire.StatusOK
+}
+
+// xferToArgs converts on-wire capability transfers into capability
+// arguments.
+func xferToArgs(xs []wire.CapXfer) []capSlotArg {
+	args := make([]capSlotArg, 0, len(xs))
+	for _, x := range xs {
+		args = append(args, capSlotArg{slot: x.Slot, arg: capArg{
+			ref: x.Ref, kind: x.Kind, rights: x.Rights, size: x.Size,
+			monitored: x.Monitored, leased: x.Leased,
+		}})
+	}
+	return args
+}
+
+// argsToXfer converts capability arguments to on-wire form.
+func argsToXfer(args []capSlotArg) []wire.CapXfer {
+	xs := make([]wire.CapXfer, 0, len(args))
+	for _, a := range args {
+		xs = append(xs, wire.CapXfer{
+			Slot: a.slot, Ref: a.arg.ref, Kind: a.arg.kind,
+			Rights: a.arg.rights, Size: a.arg.size,
+			Monitored: a.arg.monitored, Leased: a.arg.leased,
+		})
+	}
+	return xs
+}
+
+// sortedPeers returns peer Controller ids in ascending order, so
+// broadcasts are deterministic (map iteration order is not).
+func (c *Controller) sortedPeers() []cap.ControllerID {
+	ids := make([]cap.ControllerID, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedSlots returns the request's capability slots in ascending
+// order for deterministic delivery.
+func sortedSlots(caps map[uint16]capArg) []uint16 {
+	slots := make([]uint16, 0, len(caps))
+	for s := range caps {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	return slots
+}
+
+// discardObject rolls back a freshly created object that was never
+// exposed through any capability (e.g. when the creating install hits
+// the quota): revoke and erase it without cleanup traffic.
+func (c *Controller) discardObject(id cap.ObjectID) {
+	revoked := c.tree.Revoke(id)
+	for i := len(revoked) - 1; i >= 0; i-- {
+		c.tree.Remove(revoked[i].ID)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fractos/internal/cap"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// memLoc is the physical location of a validated Memory object.
+type memLoc struct {
+	ep   uint32 // fabric endpoint holding the bytes
+	base uint64
+	size uint64
+}
+
+// handleMemCopy orchestrates memory_copy (Table 1): copy all bytes of
+// the source Memory object into the destination, wherever either
+// lives. The invoking Process's Controller drives the copy.
+//
+// The prototype's RoCE NICs lack third-party RDMA (§4's limitation),
+// so the default datapath stages data through bounce buffers in the
+// Controller: RDMA-read a chunk from the source arena, RDMA-write it
+// to the destination arena, double-buffered for copies larger than one
+// chunk (§6.1). With cfg.HWCopies the Controller instead commands a
+// direct third-party transfer ("HW copies" in Figure 5).
+func (c *Controller) handleMemCopy(ps *procState, m *wire.MemCopy) {
+	src, st := c.resolveEntry(ps, m.SrcCid, cap.KindMemory, cap.Read)
+	if st != wire.StatusOK {
+		c.complete(ps, m.Token, st, cap.NilCap, 0)
+		return
+	}
+	dst, st := c.resolveEntry(ps, m.DstCid, cap.KindMemory, cap.Write)
+	if st != wire.StatusOK {
+		c.complete(ps, m.Token, st, cap.NilCap, 0)
+		return
+	}
+	token := m.Token
+	// The copy spans several network round trips; run it as a sub-task
+	// so the Controller keeps serving.
+	c.k.Spawn(c.ep.Name+".memcopy", func(t *sim.Task) {
+		c.runCopy(t, ps, token, src, dst)
+	})
+}
+
+func (c *Controller) runCopy(t *sim.Task, ps *procState, token uint64, src, dst cap.Entry) {
+	srcLoc, st := c.locate(t, src.Ref, cap.Read)
+	if st != wire.StatusOK {
+		c.complete(ps, token, st, cap.NilCap, 0)
+		return
+	}
+	dstLoc, st := c.locate(t, dst.Ref, cap.Write)
+	if st != wire.StatusOK {
+		c.complete(ps, token, st, cap.NilCap, 0)
+		return
+	}
+	n := int(srcLoc.size)
+	if dstLoc.size < srcLoc.size {
+		c.complete(ps, token, wire.StatusBounds, cap.NilCap, 0)
+		return
+	}
+
+	if c.cfg.HWCopies {
+		// Third-party RDMA: one direct transfer, no staging.
+		_, err := c.net.RDMACopy(c.ep.ID,
+			fabricEP(srcLoc.ep), int(srcLoc.base),
+			fabricEP(dstLoc.ep), int(dstLoc.base), n).Wait(t)
+		if err != nil {
+			c.complete(ps, token, wire.StatusAborted, cap.NilCap, 0)
+			return
+		}
+		c.metrics.CopyBytes += int64(n)
+		c.complete(ps, token, wire.StatusOK, cap.NilCap, uint64(n))
+		return
+	}
+
+	// Bounce-buffer datapath.
+	c.bounceSem.Acquire(t)
+	bufs := [2]int{c.popBounce(), c.popBounce()}
+	defer func() {
+		c.pushBounce(bufs[0])
+		c.pushBounce(bufs[1])
+		c.bounceSem.Release()
+	}()
+
+	chunk := c.cfg.BounceChunk
+	perChunk := c.cfg.Perf.PerChunk.On(c.cfg.Loc.Domain)
+	var wf [2]*sim.Future[int] // outstanding write per bounce buffer
+	for off, i := 0, 0; off < n; off, i = off+chunk, i+1 {
+		cn := chunk
+		if n-off < cn {
+			cn = n - off
+		}
+		b := i % 2
+		// Reusing a bounce buffer requires its previous write-out to
+		// have drained.
+		if wf[b] != nil {
+			if _, err := wf[b].Wait(t); err != nil {
+				c.complete(ps, token, wire.StatusAborted, cap.NilCap, 0)
+				return
+			}
+			wf[b] = nil
+		}
+		t.Sleep(perChunk)
+		if _, err := c.net.RDMARead(c.ep.ID, bufs[b], fabricEP(srcLoc.ep), int(srcLoc.base)+off, cn).Wait(t); err != nil {
+			c.complete(ps, token, wire.StatusAborted, cap.NilCap, 0)
+			return
+		}
+		// Write out asynchronously: the next chunk's read overlaps
+		// with this write (double buffering).
+		wf[b] = c.net.RDMAWrite(c.ep.ID, bufs[b], fabricEP(dstLoc.ep), int(dstLoc.base)+off, cn)
+		if c.cfg.SingleBuffer {
+			if _, err := wf[b].Wait(t); err != nil {
+				c.complete(ps, token, wire.StatusAborted, cap.NilCap, 0)
+				return
+			}
+			wf[b] = nil
+		}
+	}
+	for b := 0; b < 2; b++ {
+		if wf[b] != nil {
+			if _, err := wf[b].Wait(t); err != nil {
+				c.complete(ps, token, wire.StatusAborted, cap.NilCap, 0)
+				return
+			}
+		}
+	}
+	c.metrics.CopyBytes += int64(n)
+	c.complete(ps, token, wire.StatusOK, cap.NilCap, uint64(n))
+}
+
+// locate resolves a Memory reference to its physical location,
+// contacting the owner for remote objects (every use validates at the
+// owner, which is what makes revocation immediate, §3.5).
+func (c *Controller) locate(t *sim.Task, ref cap.Ref, need cap.Rights) (memLoc, wire.Status) {
+	if ref.Ctrl == c.id {
+		n, st := c.resolveOwned(ref)
+		if st != wire.StatusOK {
+			return memLoc{}, st
+		}
+		mo, ok := n.Payload.(*memObject)
+		if !ok {
+			return memLoc{}, wire.StatusKind
+		}
+		if !mo.rights.Has(need) {
+			return memLoc{}, wire.StatusPerm
+		}
+		return memLoc{ep: uint32(mo.ep), base: mo.base, size: mo.size}, wire.StatusOK
+	}
+	reply, err := c.callF(ref.Ctrl, func(tok uint64) wire.Message {
+		return &wire.CtrlValidate{Token: tok, Src: c.id, Ref: ref, Need: need}
+	}).Wait(t)
+	if err != nil {
+		return memLoc{}, wire.StatusAborted
+	}
+	info, ok := reply.(*wire.CtrlValInfo)
+	if !ok {
+		// Aborted calls answer with a CtrlAck.
+		if ack, isAck := reply.(*wire.CtrlAck); isAck {
+			return memLoc{}, ack.Status
+		}
+		return memLoc{}, wire.StatusAborted
+	}
+	if info.Status != wire.StatusOK {
+		return memLoc{}, info.Status
+	}
+	return memLoc{ep: info.Endpoint, base: info.Base, size: info.Size}, wire.StatusOK
+}
+
+func (c *Controller) popBounce() int {
+	off := c.bounceFree[len(c.bounceFree)-1]
+	c.bounceFree = c.bounceFree[:len(c.bounceFree)-1]
+	return off
+}
+
+func (c *Controller) pushBounce(off int) {
+	c.bounceFree = append(c.bounceFree, off)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fractos/internal/cap"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// handleReqInvoke invokes a Request (request_invoke). Invoke-time
+// refinements (immediates and capability arguments) are applied on top
+// of the Request object's preset arguments for this invocation only —
+// the object itself is never mutated, preserving the §3.4 security
+// property.
+//
+// If the Request is owned here (the provider is one of our Processes),
+// the invocation is local: syscall → delivery, two hops. Otherwise it
+// is forwarded to the owning Controller: three hops each way at most,
+// as in §6.1.
+func (c *Controller) handleReqInvoke(t *sim.Task, ps *procState, m *wire.ReqInvoke) {
+	e, st := c.resolveEntry(ps, m.Cid, cap.KindRequest, cap.Invoke)
+	if st != wire.StatusOK {
+		c.complete(ps, m.Token, st, cap.NilCap, 0)
+		return
+	}
+	capArgs, st := c.resolveCapSlots(ps, m.Caps)
+	if st != wire.StatusOK {
+		c.complete(ps, m.Token, st, cap.NilCap, 0)
+		return
+	}
+	if e.Ref.Ctrl == c.id {
+		st := c.deliverInvoke(e.Ref, m.Imms, capArgs)
+		c.complete(ps, m.Token, st, cap.NilCap, 0)
+		return
+	}
+	tok := m.Token
+	imms := m.Imms
+	c.call(e.Ref.Ctrl, func(t uint64) wire.Message {
+		return &wire.CtrlInvoke{Token: t, Src: c.id, Ref: e.Ref, Imms: imms, Caps: argsToXfer(capArgs)}
+	}, func(reply wire.Message) {
+		ack, ok := reply.(*wire.CtrlAck)
+		st := wire.StatusUnknownObj
+		if ok {
+			st = ack.Status
+		}
+		c.complete(ps, tok, st, cap.NilCap, 0)
+	})
+}
+
+// deliverInvoke performs the owner-side invocation: validate the
+// Request, merge invoke-time arguments, delegate capability arguments
+// into the provider's space, and deliver a request_receive descriptor.
+func (c *Controller) deliverInvoke(ref cap.Ref, imms []wire.ImmArg, extra []capSlotArg) wire.Status {
+	n, st := c.resolveOwned(ref)
+	if st != wire.StatusOK {
+		return st
+	}
+	ro, ok := n.Payload.(*reqObject)
+	if !ok {
+		return wire.StatusKind
+	}
+	prov, ok := c.procs[ro.provider]
+	if !ok || prov.failed {
+		return wire.StatusNoProc
+	}
+
+	// Merge arguments on a scratch copy.
+	merged := ro.clone()
+	if st := merged.applyImms(imms); st != wire.StatusOK {
+		return st
+	}
+	if st := merged.applyCaps(extra); st != wire.StatusOK {
+		return st
+	}
+
+	// Delegate capability arguments: install entries in the provider's
+	// capability space, in slot order for determinism. On quota
+	// exhaustion the whole delegation is rolled back.
+	slots := sortedSlots(merged.caps)
+	dcaps := make([]wire.DeliveredCap, 0, len(slots))
+	for _, s := range slots {
+		a := merged.caps[s]
+		cid, st := c.install(prov, cap.Entry{
+			Ref: a.ref, Kind: a.kind, Rights: a.rights, Size: a.size, Leased: a.leased,
+		})
+		if st != wire.StatusOK {
+			for _, dc := range dcaps {
+				prov.space.Drop(dc.Cid)
+			}
+			return st
+		}
+		dcaps = append(dcaps, wire.DeliveredCap{
+			Slot: s, Cid: cid, Kind: a.kind, Rights: a.rights, Size: a.size,
+		})
+	}
+
+	prov.deliverSeq++
+	d := &wire.Deliver{
+		Seq:  prov.deliverSeq,
+		Tag:  merged.tag,
+		Imms: merged.imms.bytes(),
+		Caps: dcaps,
+	}
+	if prov.window <= 0 {
+		// Congestion control: queue until the provider acknowledges
+		// earlier deliveries (§4's back-pressure).
+		c.metrics.Backpressured++
+		prov.queue = append(prov.queue, d)
+		return wire.StatusOK
+	}
+	c.sendDeliver(prov, d)
+	return wire.StatusOK
+}
+
+// peerInvoke handles an invocation arriving from another Controller.
+func (c *Controller) peerInvoke(t *sim.Task, from fabric.EndpointID, m *wire.CtrlInvoke) {
+	c.metrics.Invokes++
+	st := c.deliverInvoke(m.Ref, m.Imms, xferToArgs(m.Caps))
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+}

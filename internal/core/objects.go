@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fractos/internal/cap"
+	"fractos/internal/fabric"
+	"fractos/internal/wire"
+)
+
+// memObject is the owner-side record of a Memory object: a window into
+// a Process's RDMA-registered arena.
+type memObject struct {
+	owner  cap.ProcID
+	ep     fabric.EndpointID // endpoint whose arena holds the bytes
+	base   uint64            // offset within the arena
+	size   uint64
+	rights cap.Rights
+}
+
+// capArg is a capability argument held inside a Request object.
+type capArg struct {
+	ref       cap.Ref
+	kind      cap.Kind
+	rights    cap.Rights
+	size      uint64
+	monitored bool
+	leased    bool
+}
+
+// reqObject is the owner-side record of a Request object: an RPC
+// endpoint with accumulated, write-once arguments (§3.4).
+type reqObject struct {
+	provider cap.ProcID
+	tag      uint64
+	imms     immBuf
+	caps     map[uint16]capArg
+}
+
+// clone deep-copies the request for derivation.
+func (r *reqObject) clone() *reqObject {
+	n := &reqObject{provider: r.provider, tag: r.tag, imms: r.imms.clone(),
+		caps: make(map[uint16]capArg, len(r.caps))}
+	for k, v := range r.caps {
+		n.caps[k] = v
+	}
+	return n
+}
+
+// applyImms refines the immediate buffer. Already-written bytes are
+// immutable: overlap fails with StatusImmutable.
+func (r *reqObject) applyImms(imms []wire.ImmArg) wire.Status {
+	for _, a := range imms {
+		if s := r.imms.write(int(a.Offset), a.Data); s != wire.StatusOK {
+			return s
+		}
+	}
+	return wire.StatusOK
+}
+
+// applyCaps refines the capability slots; occupied slots are
+// immutable.
+func (r *reqObject) applyCaps(args []capSlotArg) wire.Status {
+	for _, a := range args {
+		if _, taken := r.caps[a.slot]; taken {
+			return wire.StatusImmutable
+		}
+		r.caps[a.slot] = a.arg
+	}
+	return wire.StatusOK
+}
+
+// capSlotArg pairs a slot index with a resolved capability argument.
+type capSlotArg struct {
+	slot uint16
+	arg  capArg
+}
+
+// maxImmBuf bounds a Request's immediate-argument buffer.
+const maxImmBuf = 1 << 20
+
+// immBuf is a write-once byte buffer: each byte may be set exactly
+// once (the §3.4 security property that initialized arguments cannot
+// be changed, only extended).
+type immBuf struct {
+	data []byte
+	set  []bool
+}
+
+func (b *immBuf) clone() immBuf {
+	return immBuf{data: append([]byte(nil), b.data...), set: append([]bool(nil), b.set...)}
+}
+
+// write stores p at off, failing with StatusImmutable if any target
+// byte was already written, or StatusBounds if the buffer would exceed
+// maxImmBuf.
+func (b *immBuf) write(off int, p []byte) wire.Status {
+	if off < 0 || off+len(p) > maxImmBuf {
+		return wire.StatusBounds
+	}
+	if need := off + len(p); need > len(b.data) {
+		b.data = append(b.data, make([]byte, need-len(b.data))...)
+		b.set = append(b.set, make([]bool, need-len(b.set))...)
+	}
+	for i := range p {
+		if b.set[off+i] {
+			return wire.StatusImmutable
+		}
+	}
+	copy(b.data[off:], p)
+	for i := range p {
+		b.set[off+i] = true
+	}
+	return wire.StatusOK
+}
+
+// bytes returns the merged immediate buffer.
+func (b *immBuf) bytes() []byte { return b.data }

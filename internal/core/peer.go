@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fractos/internal/cap"
+	"fractos/internal/fabric"
+	"fractos/internal/wire"
+)
+
+// peerDeriveMem serves a remote memory_diminish at the owner.
+func (c *Controller) peerDeriveMem(from fabric.EndpointID, m *wire.CtrlDeriveMem) {
+	ref, size, rights, st := c.deriveMemLocal(m.From, m.Offset, m.Size, m.Drop)
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+		Token: m.Token, Status: st, Obj: ref.Obj, Epoch: ref.Epoch, Size: size, Rights: rights,
+	})
+}
+
+// peerDeriveReq serves a remote request_create derivation at the owner.
+func (c *Controller) peerDeriveReq(from fabric.EndpointID, m *wire.CtrlDeriveReq) {
+	ref, st := c.deriveReqLocal(m.From, m.Imms, xferToArgs(m.Caps))
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+		Token: m.Token, Status: st, Obj: ref.Obj, Epoch: ref.Epoch,
+	})
+}
+
+// peerRevtree serves a remote cap_create_revtree at the owner.
+func (c *Controller) peerRevtree(from fabric.EndpointID, m *wire.CtrlRevtree) {
+	n, st := c.resolveOwned(m.From)
+	if st != wire.StatusOK {
+		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+		return
+	}
+	child := c.tree.Derive(n.ID, n.Payload)
+	if child == nil {
+		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusRevoked})
+		return
+	}
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+		Token: m.Token, Status: wire.StatusOK, Obj: child.ID, Epoch: c.epoch,
+	})
+}
+
+// peerRevoke serves a remote cap_revoke at the owner.
+func (c *Controller) peerRevoke(from fabric.EndpointID, m *wire.CtrlRevoke) {
+	st := c.revokeLocal(m.From)
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+}
+
+// peerValidate answers an owner-side validation: is the object live,
+// does it convey the needed rights, and (for Memory) where do its
+// bytes physically live. Every use of a capability contacts the owner,
+// which is what makes revocation immediate (§3.5).
+func (c *Controller) peerValidate(from fabric.EndpointID, m *wire.CtrlValidate) {
+	n, st := c.resolveOwned(m.Ref)
+	if st != wire.StatusOK {
+		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: st})
+		return
+	}
+	mo, ok := n.Payload.(*memObject)
+	if !ok {
+		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusKind})
+		return
+	}
+	if !mo.rights.Has(m.Need) {
+		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusPerm})
+		return
+	}
+	c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{
+		Token: m.Token, Status: wire.StatusOK,
+		Endpoint: uint32(mo.ep), Base: mo.base, Size: mo.size, Rights: mo.rights,
+	})
+}
+
+// peerCleanup purges capability-space entries referencing revoked
+// objects and acknowledges, so the owner can erase the revoked stubs
+// (the asynchronous, off-critical-path cleanup of §3.5).
+func (c *Controller) peerCleanup(from fabric.EndpointID, m *wire.CtrlCleanup) {
+	dead := make(map[cap.Ref]bool, len(m.Refs))
+	for _, r := range m.Refs {
+		dead[r] = true
+	}
+	for _, ps := range c.procs {
+		c.metrics.EntriesPurged += int64(len(ps.space.PurgeRefs(func(r cap.Ref) bool { return dead[r] })))
+	}
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
+}
+
+// peerWatch registers a remote monitor_receive watcher at the owner.
+func (c *Controller) peerWatch(from fabric.EndpointID, m *wire.CtrlWatch) {
+	n, st := c.resolveOwned(m.Ref)
+	if st != wire.StatusOK {
+		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+		return
+	}
+	n.Watchers = append(n.Watchers, cap.Watcher{
+		Proc: m.WatcherProc, Ctrl: m.WatcherCtrl, Callback: m.Callback,
+	})
+	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
+}
+
+// peerNotify forwards a monitor callback to a Process we manage.
+func (c *Controller) peerNotify(m *wire.CtrlNotify) {
+	ps, ok := c.procs[m.Proc]
+	if !ok || ps.failed {
+		return
+	}
+	c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: m.Callback, Kind: m.Kind})
+}
+
+// peerEpoch records a peer's new epoch. Entries minted under older
+// epochs of that Controller are implicitly revoked: purge them now and
+// reject them on use (§3.6's failure-to-revocation translation).
+func (c *Controller) peerEpoch(m *wire.CtrlEpoch) {
+	if cur, ok := c.peerEpochs[m.Ctrl]; ok && m.Epoch <= cur {
+		return
+	}
+	c.peerEpochs[m.Ctrl] = m.Epoch
+	for _, ps := range c.procs {
+		ps.space.PurgeRefs(func(r cap.Ref) bool {
+			return r.Ctrl == m.Ctrl && r.Epoch < m.Epoch
+		})
+	}
+	c.abortPendingTo(m.Ctrl)
+}
+
+// revokeLocal invalidates an object owned here and its whole
+// revocation subtree, firing monitor callbacks, scheduling the cleanup
+// broadcast, and finally erasing the revoked nodes.
+func (c *Controller) revokeLocal(ref cap.Ref) wire.Status {
+	if ref.Ctrl != c.id {
+		return wire.StatusUnknownObj
+	}
+	if ref.Epoch != c.epoch {
+		return wire.StatusStale
+	}
+	revoked := c.tree.Revoke(ref.Obj)
+	if revoked == nil {
+		return wire.StatusRevoked
+	}
+	c.processRevocations(revoked)
+	return wire.StatusOK
+}
+
+// processRevocations fires monitors, purges local entries, broadcasts
+// cleanup, and erases the revoked nodes.
+func (c *Controller) processRevocations(revoked []*cap.Node) {
+	c.metrics.Revocations += int64(len(revoked))
+	c.metrics.CleanupsSent++
+	refs := make([]cap.Ref, 0, len(revoked))
+	for _, n := range revoked {
+		refs = append(refs, c.ref(n.ID))
+		// monitor_receive watchers.
+		for _, w := range n.Watchers {
+			c.notifyWatcher(w, wire.MonitorCBReceive)
+		}
+		n.Watchers = nil
+		// monitor_delegate accounting: a delegatee child dying
+		// decrements its parent's counter.
+		if n.MonitorDelegatee {
+			if p, ok := c.tree.GetAny(n.Parent); ok && p.MonitorDelegator {
+				p.DelegateeCount--
+				if p.DelegateeCount == 0 {
+					c.notifyWatcher(cap.Watcher{
+						Proc: p.DelegatorProc, Ctrl: c.id, Callback: p.DelegatorCB,
+					}, wire.MonitorCBDelegate)
+				}
+			}
+		}
+	}
+
+	// Purge local capability spaces now; remote ones via broadcast.
+	dead := make(map[cap.Ref]bool, len(refs))
+	for _, r := range refs {
+		dead[r] = true
+	}
+	for _, ps := range c.procs {
+		ps.space.PurgeRefs(func(r cap.Ref) bool { return dead[r] })
+	}
+
+	// Erase the revoked stubs only after every peer has confirmed it
+	// purged its references — until then the few-bytes stubs remain,
+	// exactly as §3.5 describes. Peers observed dead (epoch bump)
+	// resolve their outstanding calls as aborted, which also counts:
+	// their state is gone wholesale.
+	removeStubs := func() {
+		for i := len(revoked) - 1; i >= 0; i-- {
+			c.tree.Remove(revoked[i].ID)
+		}
+	}
+	remaining := len(c.peers)
+	if remaining == 0 {
+		removeStubs()
+		return
+	}
+	for _, peer := range c.sortedPeers() {
+		c.call(peer, func(tok uint64) wire.Message {
+			return &wire.CtrlCleanup{Token: tok, Refs: refs}
+		}, func(wire.Message) {
+			remaining--
+			if remaining == 0 {
+				removeStubs()
+			}
+		})
+	}
+}
+
+// notifyWatcher routes a monitor callback to its Process, locally or
+// via the managing Controller.
+func (c *Controller) notifyWatcher(w cap.Watcher, kind uint8) {
+	c.metrics.MonitorsFired++
+	if w.Ctrl == c.id {
+		if ps, ok := c.procs[w.Proc]; ok && !ps.failed {
+			c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: w.Callback, Kind: kind})
+		}
+		return
+	}
+	if ep, ok := c.peers[w.Ctrl]; ok {
+		c.net.Send(c.ep.ID, ep, &wire.CtrlNotify{Proc: w.Proc, Callback: w.Callback, Kind: kind})
+	}
+}

@@ -1,0 +1,271 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// The GPU adaptor's RPC interface (§5). An application obtains the
+// context-init Request, whose reply hands it per-context alloc/load
+// Requests; loading a kernel hands it that kernel's invocation
+// Request. All of these can be delegated and refined like any Request.
+const (
+	// TagCtxInit creates a GPU context.
+	// caps: SlotCont = reply. Reply caps: SlotAlloc, SlotLoad,
+	// SlotFree, SlotCleanup.
+	TagCtxInit uint64 = 0x20
+	// TagAlloc allocates GPU memory.
+	// imm[8:16) = size; caps: SlotCont. Reply: imm[0:8) = status,
+	// imm[8:16) = device address; caps: SlotBuf = Memory capability.
+	TagAlloc uint64 = 0x21
+	// TagLoad loads a kernel.
+	// imm[8:16) = name length, [16:...) = name bytes; caps: SlotCont.
+	// Reply: imm[0:8) = status; caps: SlotKernel = invocation Request.
+	TagLoad uint64 = 0x22
+	// TagInvoke invokes a loaded kernel.
+	// imm[8:16) = kernel-name length and [16:16+len) = name, preset at
+	// load time and immutable; uint64 kernel arguments follow at the
+	// next 8-byte boundary (ArgOffset) and are forwarded verbatim;
+	// caps: SlotSuccess and SlotError continuations (§5: "two Request
+	// arguments used to signal success/error"). The chosen
+	// continuation receives imm[0:8) = kernel status.
+	TagInvoke uint64 = 0x23
+	// TagFree releases GPU memory. imm[8:16) = device address.
+	TagFree uint64 = 0x24
+	// TagCleanup destroys the context and frees its resources.
+	TagCleanup uint64 = 0x25
+)
+
+// Argument slots of the GPU interface.
+const (
+	SlotCont    uint16 = 0 // reply continuation of management RPCs
+	SlotSuccess uint16 = 0 // success continuation of TagInvoke
+	SlotError   uint16 = 1 // error continuation of TagInvoke
+
+	// Reply slots.
+	SlotAlloc   uint16 = 0
+	SlotLoad    uint16 = 1
+	SlotFree    uint16 = 2
+	SlotCleanup uint16 = 3
+	SlotBuf     uint16 = 0
+	SlotKernel  uint16 = 0
+)
+
+// GPU adaptor status codes.
+const (
+	StatusOK       uint64 = 0
+	StatusNoMem    uint64 = 1
+	StatusNoKernel uint64 = 2
+	StatusBadArg   uint64 = 3
+	StatusAdaptErr uint64 = 4
+)
+
+// Adaptor exposes one GPU as FractOS Requests. Its arena is the GPU's
+// memory: Memory capabilities handed to clients point straight into
+// it, so remote reads/writes model GPUDirect RDMA.
+type Adaptor struct {
+	P   *proc.Process
+	dev *Device
+
+	ctxBufs map[uint64][]uint64 // context → device addresses
+	nextCtx uint64
+
+	// CtxInit is the adaptor's root Request; grant it to applications.
+	CtxInit proc.Cap
+}
+
+// NewAdaptor attaches a GPU adaptor Process on the given node.
+func NewAdaptor(cl *core.Cluster, node int, name string, dev *Device) *Adaptor {
+	return &Adaptor{
+		P:       proc.Attach(cl, node, name, dev.MemSize()),
+		dev:     dev,
+		ctxBufs: make(map[uint64][]uint64),
+	}
+}
+
+// Start registers the context-init Request and spawns the serve loop.
+func (a *Adaptor) Start(t *sim.Task) error {
+	ci, err := a.P.RequestCreate(t, TagCtxInit, nil, nil)
+	if err != nil {
+		return fmt.Errorf("gpu adaptor: ctx-init request: %w", err)
+	}
+	a.CtxInit = ci
+	a.P.Kernel().Spawn("gpu-adaptor", a.serve)
+	return nil
+}
+
+func (a *Adaptor) serve(t *sim.Task) {
+	for {
+		d, ok := a.P.Receive(t)
+		if !ok {
+			return
+		}
+		// Management RPCs are quick and handled inline; kernel
+		// invocations run as sub-tasks so a long kernel doesn't stall
+		// the adaptor (multiple clients, Figure 9 right).
+		if d.Tag == TagInvoke {
+			a.P.Kernel().Spawn("gpu-invoke", func(ht *sim.Task) { a.handleInvoke(ht, d) })
+			continue
+		}
+		a.handleMgmt(t, d)
+	}
+}
+
+func (a *Adaptor) handleMgmt(t *sim.Task, d *proc.Delivery) {
+	defer d.Done()
+	cont, haveCont := d.Cap(SlotCont)
+	reply := func(imms []wire.ImmArg, args []proc.Arg) {
+		if haveCont {
+			a.P.Invoke(t, cont, imms, args)
+		}
+	}
+	switch d.Tag {
+	case TagCtxInit:
+		a.nextCtx++
+		ctx := a.nextCtx
+		alloc, e1 := a.P.RequestCreate(t, TagAlloc, []wire.ImmArg{proc.U64Arg(0, ctx)}, nil)
+		load, e2 := a.P.RequestCreate(t, TagLoad, []wire.ImmArg{proc.U64Arg(0, ctx)}, nil)
+		free, e3 := a.P.RequestCreate(t, TagFree, []wire.ImmArg{proc.U64Arg(0, ctx)}, nil)
+		clean, e4 := a.P.RequestCreate(t, TagCleanup, []wire.ImmArg{proc.U64Arg(0, ctx)}, nil)
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusAdaptErr)}, nil)
+			return
+		}
+		a.ctxBufs[ctx] = nil
+		reply(nil, []proc.Arg{
+			{Slot: SlotAlloc, Cap: alloc}, {Slot: SlotLoad, Cap: load},
+			{Slot: SlotFree, Cap: free}, {Slot: SlotCleanup, Cap: clean},
+		})
+
+	case TagAlloc:
+		ctx := d.U64(0)
+		size := d.U64(8)
+		if _, ok := a.ctxBufs[ctx]; !ok || size == 0 {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusBadArg)}, nil)
+			return
+		}
+		off, err := a.P.Alloc(int(size))
+		if err != nil {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusNoMem)}, nil)
+			return
+		}
+		buf, err := a.P.MemoryCreate(t, uint64(off), size, cap.MemRights)
+		if err != nil {
+			a.P.Free(off)
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusAdaptErr)}, nil)
+			return
+		}
+		a.ctxBufs[ctx] = append(a.ctxBufs[ctx], uint64(off))
+		reply([]wire.ImmArg{proc.U64Arg(8, uint64(off))}, []proc.Arg{{Slot: SlotBuf, Cap: buf}})
+
+	case TagLoad:
+		nameLen := int(d.U64(8))
+		if 16+nameLen > len(d.Imms) {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusBadArg)}, nil)
+			return
+		}
+		name := string(d.Imms[16 : 16+nameLen])
+		if !a.dev.Has(name) {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusNoKernel)}, nil)
+			return
+		}
+		// The invocation Request presets the kernel name; clients can
+		// only add arguments and continuations — the kernel itself
+		// stays fixed (§5).
+		inv, err := a.P.RequestCreate(t, TagInvoke,
+			[]wire.ImmArg{proc.U64Arg(8, uint64(nameLen)), proc.BytesArg(16, []byte(name))}, nil)
+		if err != nil {
+			reply([]wire.ImmArg{proc.U64Arg(0, StatusAdaptErr)}, nil)
+			return
+		}
+		reply(nil, []proc.Arg{{Slot: SlotKernel, Cap: inv}})
+
+	case TagFree:
+		ctx := d.U64(0)
+		addr := d.U64(8)
+		bufs := a.ctxBufs[ctx]
+		for i, b := range bufs {
+			if b == addr {
+				a.ctxBufs[ctx] = append(bufs[:i], bufs[i+1:]...)
+				a.P.Free(int(addr))
+				break
+			}
+		}
+		reply(nil, nil)
+
+	case TagCleanup:
+		ctx := d.U64(0)
+		for _, b := range a.ctxBufs[ctx] {
+			a.P.Free(int(b))
+		}
+		delete(a.ctxBufs, ctx)
+		reply(nil, nil)
+	}
+}
+
+// handleInvoke runs a kernel and invokes the success or error
+// continuation, giving the application-agnostic decentralized control
+// flow of §2.2: the adaptor invokes whatever continuation it was
+// handed, verbatim.
+func (a *Adaptor) handleInvoke(t *sim.Task, d *proc.Delivery) {
+	defer d.Done()
+	succ, _ := d.Cap(SlotSuccess)
+	errc, haveErr := d.Cap(SlotError)
+	fail := func(code uint64) {
+		if haveErr {
+			a.P.Invoke(t, errc, []wire.ImmArg{proc.U64Arg(0, code)}, nil)
+		}
+	}
+	// Upstream-status convention: when the kernel Request is chained
+	// as another service's continuation (e.g. a storage read writing
+	// into GPU memory, Figure 2's b→c edge), that service reports its
+	// outcome in imm[0:8). A non-zero status means the kernel's inputs
+	// never arrived — propagate the failure instead of computing on
+	// garbage.
+	if st := d.U64(0); st != 0 {
+		fail(st)
+		return
+	}
+	nameLen := int(d.U64(8))
+	if 16+nameLen > len(d.Imms) {
+		fail(StatusBadArg)
+		return
+	}
+	name := string(d.Imms[16 : 16+nameLen])
+	args := kernelArgs(d.Imms, 16+nameLen)
+	st, err := a.dev.Exec(t, name, a.P.Arena(), args)
+	if err != nil {
+		fail(StatusNoKernel)
+		return
+	}
+	if st != 0 {
+		fail(st)
+		return
+	}
+	if succ.Valid() {
+		a.P.Invoke(t, succ, []wire.ImmArg{proc.U64Arg(0, StatusOK)}, nil)
+	}
+}
+
+// kernelArgs decodes the uint64 arguments following the kernel-name
+// header, rounding the start up to an 8-byte boundary.
+func kernelArgs(imms []byte, from int) []uint64 {
+	from = (from + 7) &^ 7
+	var args []uint64
+	for off := from; off+8 <= len(imms); off += 8 {
+		args = append(args, binary.LittleEndian.Uint64(imms[off:]))
+	}
+	return args
+}
+
+// ArgOffset returns the immediate offset where invocation argument i
+// must be written (after the preset kernel-name header).
+func ArgOffset(nameLen, i int) int {
+	return ((16 + nameLen + 7) &^ 7) + 8*i
+}

@@ -1,0 +1,98 @@
+// Package gpu models a disaggregated GPU (the NVIDIA Tesla K80 of
+// Table 2) and implements the FractOS GPU adaptor service of §5: a
+// host-CPU Process that exposes context initialization, memory
+// de/allocation, kernel loading, and kernel invocation as Requests.
+//
+// The device executes real compute: kernels are Go functions operating
+// on the bytes of the adaptor's arena (which models GPU memory that is
+// RDMA-accessible via GPUDirect), under a timing model of launch
+// overhead plus a per-kernel cost function.
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"fractos/internal/sim"
+)
+
+// KernelFunc is a loaded GPU kernel: it computes over GPU memory with
+// the forwarded immediate arguments, returning a status (0 = success).
+type KernelFunc func(mem []byte, args []uint64) uint64
+
+// CostFunc models a kernel's execution time for given arguments.
+type CostFunc func(args []uint64) sim.Time
+
+// Config is the device model.
+type Config struct {
+	// MemSize is the GPU memory size in bytes.
+	MemSize int
+	// LaunchOverhead is the fixed cost of a kernel launch.
+	LaunchOverhead sim.Time
+}
+
+// DefaultConfig models the paper's K80 for the face-verification
+// workload.
+func DefaultConfig() Config {
+	return Config{
+		MemSize:        64 << 20,
+		LaunchOverhead: 10 * sim.Time(time.Microsecond),
+	}
+}
+
+type kernel struct {
+	name string
+	fn   KernelFunc
+	cost CostFunc
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	k       *sim.Kernel
+	cfg     Config
+	kernels map[string]*kernel
+	exec    *sim.Semaphore // one kernel executes at a time
+
+	// Counters for the evaluation harness.
+	Launches int64
+	BusyTime sim.Time
+}
+
+// NewDevice creates a GPU.
+func NewDevice(k *sim.Kernel, cfg Config) *Device {
+	if cfg.MemSize == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Device{k: k, cfg: cfg, kernels: make(map[string]*kernel), exec: sim.NewSemaphore(1)}
+}
+
+// MemSize returns the GPU memory size.
+func (d *Device) MemSize() int { return d.cfg.MemSize }
+
+// Register installs a kernel binary on the device (the pool of kernels
+// an adaptor can load).
+func (d *Device) Register(name string, fn KernelFunc, cost CostFunc) {
+	d.kernels[name] = &kernel{name: name, fn: fn, cost: cost}
+}
+
+// Has reports whether a kernel is registered.
+func (d *Device) Has(name string) bool {
+	_, ok := d.kernels[name]
+	return ok
+}
+
+// Exec runs a kernel over mem (GPU memory), blocking the caller for
+// the modeled execution time. Kernels serialize on the device.
+func (d *Device) Exec(t *sim.Task, name string, mem []byte, args []uint64) (uint64, error) {
+	kn, ok := d.kernels[name]
+	if !ok {
+		return 0, fmt.Errorf("gpu: unknown kernel %q", name)
+	}
+	d.exec.Acquire(t)
+	defer d.exec.Release()
+	dur := d.cfg.LaunchOverhead + kn.cost(args)
+	t.Sleep(dur)
+	d.Launches++
+	d.BusyTime += dur
+	return kn.fn(mem, args), nil
+}

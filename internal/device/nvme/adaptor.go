@@ -1,0 +1,280 @@
+package nvme
+
+import (
+	"fmt"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// The block-device adaptor's RPC interface, as Request tags and
+// argument conventions. Adaptors are ordinary untrusted Processes that
+// translate Requests into device operations (§3.1).
+const (
+	// TagVolCreate allocates a logical volume.
+	// imm[8:16) = size in bytes; caps: SlotCont = reply continuation.
+	// The reply carries imm[8:16) = volume id and caps SlotVolRead /
+	// SlotVolWrite = this volume's read/write Requests.
+	TagVolCreate uint64 = 0x10
+	// TagVolRead reads from a volume.
+	// imm[8:16) = volume id (preset by the adaptor), [16:24) = offset,
+	// [24:32) = length; caps: SlotData = destination Memory,
+	// SlotCont = continuation.
+	TagVolRead uint64 = 0x11
+	// TagVolWrite writes to a volume; SlotData is the source Memory.
+	TagVolWrite uint64 = 0x12
+)
+
+// Immediate layout of every block Request. Offset [0,8) is reserved
+// for the upstream-status convention so block Requests can themselves
+// be chained as continuations of other services (§3.4 composition): a
+// non-zero value there means the upstream producer failed and the
+// operation must not run.
+const (
+	ImmStatus = 0
+	ImmVol    = 8 // volume id (TagVolRead/Write) or size (TagVolCreate)
+	ImmOff    = 16
+	ImmLen    = 24
+)
+
+// Argument slots of the block-device interface.
+const (
+	// SlotData carries the data Memory capability.
+	SlotData uint16 = 0
+	// SlotCont carries the continuation Request, invoked with
+	// imm[0:8) = status (0 = success) when the operation completes.
+	SlotCont uint16 = 1
+	// SlotVolRead / SlotVolWrite carry the per-volume Requests in a
+	// TagVolCreate reply.
+	SlotVolRead  uint16 = 0
+	SlotVolWrite uint16 = 1
+)
+
+// Block-operation status codes delivered to continuations.
+const (
+	StatusOK      uint64 = 0
+	StatusBadVol  uint64 = 1
+	StatusBounds  uint64 = 2
+	StatusTooBig  uint64 = 3
+	StatusCopyErr uint64 = 4
+	StatusDevErr  uint64 = 5
+)
+
+// MaxIO is the largest single block operation (Figure 11 uses 1 MiB).
+const MaxIO = 1 << 20
+
+// AdaptorConfig sizes the adaptor.
+type AdaptorConfig struct {
+	// QueueDepth bounds concurrently served operations.
+	QueueDepth int
+	// StagingBufs is the number of MaxIO staging buffers.
+	StagingBufs int
+}
+
+func (c AdaptorConfig) withDefaults() AdaptorConfig {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.StagingBufs == 0 {
+		c.StagingBufs = 8
+	}
+	return c
+}
+
+type volume struct {
+	off  int64
+	size int64
+}
+
+// Adaptor exposes one NVMe device as FractOS Requests. It runs on the
+// host CPU co-located with the device, like the paper's prototype.
+type Adaptor struct {
+	P   *proc.Process
+	dev *Device
+	cfg AdaptorConfig
+
+	vols    map[uint64]volume
+	nextVol uint64
+	devFree int64 // bump allocator over device space
+
+	qd       *sim.Semaphore
+	stageSem *sim.Semaphore
+	stages   []stageBuf
+
+	// VolCreate is the adaptor's root Request; grant it to the storage
+	// stack (the FS service) at deployment time.
+	VolCreate proc.Cap
+}
+
+type stageBuf struct {
+	off int
+	cap proc.Cap // Memory capability covering the whole buffer
+}
+
+// NewAdaptor attaches a block-device adaptor Process on the given
+// node.
+func NewAdaptor(cl *core.Cluster, node int, name string, dev *Device, cfg AdaptorConfig) *Adaptor {
+	cfg = cfg.withDefaults()
+	return &Adaptor{
+		P:        proc.Attach(cl, node, name, cfg.StagingBufs*MaxIO),
+		dev:      dev,
+		cfg:      cfg,
+		vols:     make(map[uint64]volume),
+		qd:       sim.NewSemaphore(cfg.QueueDepth),
+		stageSem: sim.NewSemaphore(cfg.StagingBufs),
+	}
+}
+
+// Start registers the adaptor's Requests and spawns its serve loop.
+// Must run in task context before clients are wired up.
+func (a *Adaptor) Start(t *sim.Task) error {
+	for i := 0; i < a.cfg.StagingBufs; i++ {
+		off := i * MaxIO
+		c, err := a.P.MemoryCreate(t, uint64(off), MaxIO, cap.MemRights)
+		if err != nil {
+			return fmt.Errorf("nvme adaptor: staging memory: %w", err)
+		}
+		a.stages = append(a.stages, stageBuf{off: off, cap: c})
+	}
+	vc, err := a.P.RequestCreate(t, TagVolCreate, nil, nil)
+	if err != nil {
+		return fmt.Errorf("nvme adaptor: volcreate request: %w", err)
+	}
+	a.VolCreate = vc
+	a.P.Kernel().Spawn("nvme-adaptor", a.serve)
+	return nil
+}
+
+func (a *Adaptor) serve(t *sim.Task) {
+	for {
+		d, ok := a.P.Receive(t)
+		if !ok {
+			return
+		}
+		a.qd.Acquire(t)
+		a.P.Kernel().Spawn("nvme-op", func(ht *sim.Task) {
+			defer a.qd.Release()
+			a.handle(ht, d)
+		})
+	}
+}
+
+func (a *Adaptor) handle(t *sim.Task, d *proc.Delivery) {
+	defer d.Done()
+	switch d.Tag {
+	case TagVolCreate:
+		a.handleVolCreate(t, d)
+	case TagVolRead:
+		a.handleIO(t, d, false)
+	case TagVolWrite:
+		a.handleIO(t, d, true)
+	}
+}
+
+func (a *Adaptor) handleVolCreate(t *sim.Task, d *proc.Delivery) {
+	size := int64(d.U64(ImmVol))
+	cont, ok := d.Cap(SlotCont)
+	if !ok {
+		return
+	}
+	if size <= 0 || a.devFree+size > a.dev.Capacity() {
+		a.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, StatusBounds)}, nil)
+		return
+	}
+	a.nextVol++
+	id := a.nextVol
+	a.vols[id] = volume{off: a.devFree, size: size}
+	a.devFree += size
+
+	rd, err1 := a.P.RequestCreate(t, TagVolRead, []wire.ImmArg{proc.U64Arg(ImmVol, id)}, nil)
+	wr, err2 := a.P.RequestCreate(t, TagVolWrite, []wire.ImmArg{proc.U64Arg(ImmVol, id)}, nil)
+	if err1 != nil || err2 != nil {
+		a.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, StatusDevErr)}, nil)
+		return
+	}
+	a.P.Invoke(t, cont,
+		[]wire.ImmArg{proc.U64Arg(ImmVol, id)},
+		[]proc.Arg{{Slot: SlotVolRead, Cap: rd}, {Slot: SlotVolWrite, Cap: wr}})
+}
+
+// handleIO serves a volume read or write: stage through a local
+// buffer, moving the bytes between the device and the caller-provided
+// Memory capability with memory_copy — the adaptor never needs to know
+// where that Memory lives (§2.2's interface encapsulation).
+func (a *Adaptor) handleIO(t *sim.Task, d *proc.Delivery, isWrite bool) {
+	cont, haveCont := d.Cap(SlotCont)
+	fail := func(code uint64) {
+		if haveCont {
+			a.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, code)}, nil)
+		}
+	}
+	// Upstream-status convention: a chained producer that failed
+	// reports its status in imm[0,8) — propagate instead of touching
+	// the device.
+	if st := d.U64(ImmStatus); st != 0 {
+		fail(st)
+		return
+	}
+	vol, ok := a.vols[d.U64(ImmVol)]
+	if !ok {
+		fail(StatusBadVol)
+		return
+	}
+	off, n := int64(d.U64(ImmOff)), int64(d.U64(ImmLen))
+	if n <= 0 || off < 0 || off+n > vol.size {
+		fail(StatusBounds)
+		return
+	}
+	if n > MaxIO {
+		fail(StatusTooBig)
+		return
+	}
+	data, ok := d.Cap(SlotData)
+	if !ok || data.Size() < uint64(n) || (isWrite && data.Size() != uint64(n)) {
+		fail(StatusBounds)
+		return
+	}
+
+	a.stageSem.Acquire(t)
+	sb := a.stages[len(a.stages)-1]
+	a.stages = a.stages[:len(a.stages)-1]
+	defer func() {
+		a.stages = append(a.stages, sb)
+		a.stageSem.Release()
+	}()
+
+	view, err := a.P.MemoryDiminish(t, sb.cap, 0, uint64(n), 0)
+	if err != nil {
+		fail(StatusDevErr)
+		return
+	}
+	defer a.P.Drop(t, view)
+	buf := a.P.Arena()[sb.off : sb.off+int(n)]
+
+	if isWrite {
+		// Pull the caller's bytes, then commit to flash.
+		if err := a.P.MemoryCopy(t, data, view); err != nil {
+			fail(StatusCopyErr)
+			return
+		}
+		if err := a.dev.Write(t, vol.off+off, buf); err != nil {
+			fail(StatusDevErr)
+			return
+		}
+	} else {
+		if err := a.dev.Read(t, vol.off+off, buf); err != nil {
+			fail(StatusDevErr)
+			return
+		}
+		if err := a.P.MemoryCopy(t, view, data); err != nil {
+			fail(StatusCopyErr)
+			return
+		}
+	}
+	if haveCont {
+		a.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, StatusOK)}, nil)
+	}
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+)
+
+// AblationDoubleBuffer compares memory_copy with and without double
+// buffering across sizes (DESIGN.md §6, ablation 2). Double buffering
+// overlaps each chunk's write-out with the next chunk's read, so it
+// should approach 2x for large transfers.
+func AblationDoubleBuffer() *Table {
+	t := NewTable("abl-dbuf", "memory_copy: double vs single buffering (MB/s)",
+		"size", "double", "single", "gain")
+	measure := func(single bool, size int) sim.Time {
+		var lat sim.Time
+		cfg := core.ClusterConfig{Nodes: 2}
+		cfg.Ctrl.SingleBuffer = single
+		runOn(cfg, func(tk *sim.Task, cl *core.Cluster) {
+			src := proc.Attach(cl, 0, "src", size)
+			dst := proc.Attach(cl, 1, "dst", size)
+			s, _ := src.MemoryCreate(tk, 0, uint64(size), cap.MemRights)
+			dd, _ := dst.MemoryCreate(tk, 0, uint64(size), cap.MemRights)
+			d, err := proc.GrantCap(dst, dd, src)
+			if err != nil {
+				panic(err)
+			}
+			start := tk.Now()
+			if err := src.MemoryCopy(tk, s, d); err != nil {
+				panic(err)
+			}
+			lat = tk.Now() - start
+		})
+		return lat
+	}
+	for _, size := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		dl := measure(false, size)
+		sl := measure(true, size)
+		t.AddRow(sizeLabel(size), mbps(size, dl), mbps(size, sl),
+			fmt.Sprintf("%.2fx", float64(sl)/float64(dl)))
+		if size == 1<<20 {
+			t.Metric("gain-1m", float64(sl)/float64(dl))
+		}
+	}
+	t.Note("§6.1: FractOS uses double buffering for transfers larger than 16 KiB")
+	return t
+}
+
+// AblationWindow sweeps the congestion-control window (outstanding
+// deliveries per Process, §4) against a service whose handlers take
+// 50 µs: a window of 1 serializes the service; larger windows expose
+// its parallelism.
+func AblationWindow() *Table {
+	t := NewTable("abl-window", "Congestion window vs service throughput",
+		"window", "RPCs/s")
+	const handlers = 8
+	const handleTime = 50 * sim.Time(1000)
+	const clients = 8
+	const callsPerClient = 8
+	for _, window := range []int{1, 2, 8, 32} {
+		var elapsed sim.Time
+		cfg := core.ClusterConfig{Nodes: 2}
+		cfg.Ctrl.Window = window
+		runOn(cfg, func(tk *sim.Task, cl *core.Cluster) {
+			srv := proc.Attach(cl, 1, "srv", 0)
+			req, err := srv.RequestCreate(tk, 1, nil, nil)
+			if err != nil {
+				panic(err)
+			}
+			// Parallel handlers, each sleeping handleTime per request.
+			for h := 0; h < handlers; h++ {
+				cl.K.Spawn("handler", func(ht *sim.Task) {
+					for {
+						d, ok := srv.Receive(ht)
+						if !ok {
+							return
+						}
+						ht.Sleep(handleTime)
+						if rep, ok := d.Cap(0); ok {
+							srv.Invoke(ht, rep, nil, nil)
+						}
+						d.Done()
+					}
+				})
+			}
+			var wg sim.WaitGroup
+			wg.Add(clients)
+			start := tk.Now()
+			for c := 0; c < clients; c++ {
+				c := c
+				cl.K.Spawn("client", func(ct *sim.Task) {
+					cli := proc.Attach(cl, 0, fmt.Sprintf("cli%d", c), 0)
+					creq, err := proc.GrantCap(srv, req, cli)
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < callsPerClient; i++ {
+						if _, err := cli.Call(ct, creq, nil, nil, 0); err != nil {
+							panic(err)
+						}
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait(tk)
+			elapsed = tk.Now() - start
+		})
+		rate := float64(clients*callsPerClient) / (float64(elapsed) / 1e9)
+		t.AddRow(fmt.Sprint(window), fmt.Sprintf("%.0f", rate))
+		t.Metric(fmt.Sprintf("w%d", window), rate)
+	}
+	t.Note("back-pressure limits outstanding deliveries; a window of 1 serializes the provider")
+	return t
+}
+
+// AblationRevtreeDepth measures revocation latency against the depth
+// of the revocation tree being torn down: the cascade is local to the
+// owning Controller, so even deep trees revoke in near-constant
+// network cost.
+func AblationRevtreeDepth() *Table {
+	t := NewTable("abl-revtree", "Revocation latency vs revocation-tree size",
+		"objects", "revoke (µs)")
+	for _, depth := range []int{1, 8, 64, 256} {
+		var lat sim.Time
+		runOn(core.ClusterConfig{Nodes: 2}, func(tk *sim.Task, cl *core.Cluster) {
+			owner := proc.Attach(cl, 0, "owner", 4096)
+			base, err := owner.MemoryCreate(tk, 0, 4096, cap.MemRights)
+			if err != nil {
+				panic(err)
+			}
+			root, err := owner.Revtree(tk, base)
+			if err != nil {
+				panic(err)
+			}
+			cur := root
+			for i := 1; i < depth; i++ {
+				if cur, err = owner.Revtree(tk, cur); err != nil {
+					panic(err)
+				}
+			}
+			start := tk.Now()
+			if err := owner.Revoke(tk, root); err != nil {
+				panic(err)
+			}
+			lat = tk.Now() - start
+		})
+		t.AddRow(fmt.Sprint(depth), usec(lat))
+		t.Metric(fmt.Sprintf("d%d-us", depth), float64(lat)/1e3)
+	}
+	t.Note("the subtree cascade happens inside the owning Controller; no per-object network messages")
+	return t
+}
+
+// AblationPlacement compares Controller placements on the null op and
+// a small cross-node RPC, including the Shared-HAL deployment.
+func AblationPlacement() *Table {
+	t := NewTable("abl-placement", "Controller placement (µs)",
+		"placement", "null op", "8B RPC 2 nodes")
+	for _, p := range []core.Placement{core.CtrlOnCPU, core.CtrlOnSNIC, core.CtrlShared} {
+		null := nullOpLatency(p)
+		rpc := measureRPC(p, 2, 8, 0)
+		t.AddRow(p.String(), usec(null), usec(rpc))
+		t.Metric(p.String()+"-null-us", float64(null)/1e3)
+	}
+	t.Note("Shared HAL: a single remote Controller serves every Process (Figures 12/13)")
+	return t
+}

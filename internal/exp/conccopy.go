@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+)
+
+// AblationConcurrentCopies reproduces §6.1's aside: "Concurrent copies
+// quickly saturate throughput at 4 KB and 32 KB for CPU and sNIC
+// Controllers, respectively" — small transfers that individually
+// under-utilize the line rate saturate it in aggregate once enough are
+// in flight, because the per-copy cost is Controller processing, which
+// pipelines across the bounce-buffer pool.
+func AblationConcurrentCopies() *Table {
+	t := NewTable("abl-conc-copy", "Aggregate memory_copy throughput vs concurrency (MB/s)",
+		"inflight", "4K @CPU", "32K @CPU", "4K @sNIC", "32K @sNIC")
+	measure := func(p core.Placement, size, inflight int) float64 {
+		const perWorker = 16
+		var elapsed sim.Time
+		runOn(core.ClusterConfig{Nodes: 2, Placement: p}, func(tk *sim.Task, cl *core.Cluster) {
+			src := proc.Attach(cl, 0, "src", inflight*size)
+			dst := proc.Attach(cl, 1, "dst", inflight*size)
+			var wg sim.WaitGroup
+			wg.Add(inflight)
+			start := tk.Now()
+			for w := 0; w < inflight; w++ {
+				w := w
+				cl.K.Spawn("copier", func(wt *sim.Task) {
+					defer wg.Done()
+					s, err := src.MemoryCreate(wt, uint64(w*size), uint64(size), cap.MemRights)
+					if err != nil {
+						panic(err)
+					}
+					dd, err := dst.MemoryCreate(wt, uint64(w*size), uint64(size), cap.MemRights)
+					if err != nil {
+						panic(err)
+					}
+					d, err := proc.GrantCap(dst, dd, src)
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < perWorker; i++ {
+						if err := src.MemoryCopy(wt, s, d); err != nil {
+							panic(err)
+						}
+					}
+				})
+			}
+			wg.Wait(tk)
+			elapsed = tk.Now() - start
+		})
+		return mbpsVal(inflight*perWorker*size, elapsed)
+	}
+	for _, inflight := range []int{1, 2, 4, 8, 16} {
+		c4 := measure(core.CtrlOnCPU, 4<<10, inflight)
+		c32 := measure(core.CtrlOnCPU, 32<<10, inflight)
+		s4 := measure(core.CtrlOnSNIC, 4<<10, inflight)
+		s32 := measure(core.CtrlOnSNIC, 32<<10, inflight)
+		t.AddRow(fmt.Sprint(inflight),
+			fmt.Sprintf("%.0f", c4), fmt.Sprintf("%.0f", c32),
+			fmt.Sprintf("%.0f", s4), fmt.Sprintf("%.0f", s32))
+		if inflight == 16 {
+			t.Metric("cpu4k-16", c4)
+			t.Metric("snic32k-16", s32)
+		}
+		if inflight == 1 {
+			t.Metric("cpu4k-1", c4)
+		}
+	}
+	t.Note("paper (§6.1): concurrent copies saturate throughput at 4 KB (CPU) / 32 KB (sNIC)")
+	return t
+}

@@ -1,0 +1,24 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSystemDeterminism runs full-stack experiments twice and requires
+// bit-identical metrics: the whole system — kernel, fabric,
+// Controllers, services, applications — is a deterministic function of
+// its configuration.
+func TestSystemDeterminism(t *testing.T) {
+	cases := []func() *Table{Table3, Figure2, AblationPlacement}
+	for _, mk := range cases {
+		a := mk()
+		b := mk()
+		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Errorf("%s metrics differ across runs:\n%v\n%v", a.ID, a.Metrics, b.Metrics)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Errorf("%s rows differ across runs", a.ID)
+		}
+	}
+}

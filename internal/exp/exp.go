@@ -1,0 +1,191 @@
+// Package exp is the evaluation harness: one generator per table and
+// figure of the paper's §6, plus the ablations called out in
+// DESIGN.md. Each generator deploys a fresh simulated cluster, runs
+// the workload, and returns a Table whose rows mirror what the paper
+// plots; Metrics carries the headline numbers for benchmarks and
+// regression tests.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"fractos/internal/core"
+	"fractos/internal/sim"
+)
+
+// newRand returns a deterministic random source for workload
+// generation.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Table is one regenerated table or figure.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Metrics exposes key values ("fig12.speedup", ...) for tests and
+	// benchmark reporting.
+	Metrics map[string]float64
+}
+
+// NewTable creates an empty table.
+func NewTable(id, title string, cols ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: cols, Metrics: map[string]float64{}}
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric records a named headline value.
+func (t *Table) Metric(name string, v float64) { t.Metrics[t.ID+"."+name] = v }
+
+// Print renders the table as aligned text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// WriteCSV renders the table as CSV (for plotting).
+func (t *Table) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Spec names a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// All lists every experiment in paper order.
+func All() []Spec {
+	return []Spec{
+		{"table3", "Null-operation latency", Table3},
+		{"fig2", "Traffic analysis: centralized vs distributed inference pipeline", Figure2},
+		{"fig5", "memory_copy throughput vs transfer size", Figure5},
+		{"fig6", "Request-invocation (RPC) latency", Figure6},
+		{"fig7", "Capability delegation and revocation", Figure7},
+		{"fig8", "Service-composition pipeline: star / fast-star / chain", Figure8},
+		{"fig9", "GPU service: latency and throughput vs rCUDA", Figure9},
+		{"fig10", "Storage latency: FS / DAX / NVMe-oF baseline / local", Figure10},
+		{"fig11", "Storage throughput, 1 MiB reads, 4 in flight", Figure11},
+		{"fig12", "Face verification end-to-end latency", Figure12},
+		{"fig13", "Face verification end-to-end throughput", Figure13},
+		{"abl-direct", "Ablation: mediated vs composed vs leased storage access", AblationDirectComposition},
+		{"abl-msgs", "Ablation: message complexity, centralized vs distributed", AblationMessageComplexity},
+		{"abl-dbuf", "Ablation: double buffering in memory_copy", AblationDoubleBuffer},
+		{"abl-conc-copy", "Ablation: concurrent small memory_copy saturation", AblationConcurrentCopies},
+		{"abl-window", "Ablation: congestion-control window", AblationWindow},
+		{"abl-revtree", "Ablation: revocation-tree depth", AblationRevtreeDepth},
+		{"abl-placement", "Ablation: controller placement (null op)", AblationPlacement},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// runOn executes fn as the main task of a fresh cluster and runs the
+// simulation to completion; it panics on incompletion (harness bug).
+func runOn(cfg core.ClusterConfig, fn func(tk *sim.Task, cl *core.Cluster)) {
+	cl := core.NewCluster(cfg)
+	done := false
+	cl.K.Spawn("exp-main", func(tk *sim.Task) {
+		fn(tk, cl)
+		done = true
+	})
+	cl.K.Run()
+	cl.K.Shutdown()
+	if !done {
+		panic("exp: experiment task did not complete (deadlock)")
+	}
+}
+
+// usec formats a virtual duration in microseconds.
+func usec(d sim.Time) string { return fmt.Sprintf("%.2f", float64(d)/1000.0) }
+
+// mbps formats bytes over a duration as MB/s.
+func mbps(bytes int, d sim.Time) string { return fmt.Sprintf("%.0f", mbpsVal(bytes, d)) }
+
+func mbpsVal(bytes int, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(d) / 1e9) / 1e6
+}
+
+// sizeLabel formats a byte count compactly.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTable3Calibration checks the null-op latencies against the
+// paper's Table 3 within 10%.
+func TestTable3Calibration(t *testing.T) {
+	tb := Table3()
+	if got := tb.Metrics["table3.null-cpu-us"]; got < 2.7 || got > 3.3 {
+		t.Errorf("null @CPU = %.2fµs, paper 3.00µs", got)
+	}
+	if got := tb.Metrics["table3.null-snic-us"]; got < 4.0 || got > 5.0 {
+		t.Errorf("null @sNIC = %.2fµs, paper 4.50µs", got)
+	}
+}
+
+// TestFigure5Shape checks the memory-copy results: small copies are
+// far slower than raw RDMA; sNIC slower than CPU; large copies reach
+// most of line rate.
+func TestFigure5Shape(t *testing.T) {
+	tb := Figure5()
+	cpu := tb.Metrics["fig5.copy1b-cpu-us"]
+	snic := tb.Metrics["fig5.copy1b-snic-us"]
+	rdma := tb.Metrics["fig5.copy1b-rdma-us"]
+	if !(rdma < cpu && cpu < snic) {
+		t.Errorf("1B latency order wrong: rdma=%.1f cpu=%.1f snic=%.1f", rdma, cpu, snic)
+	}
+	if cpu < 9 || cpu > 17 {
+		t.Errorf("1B copy @CPU = %.1fµs, paper 12.7µs", cpu)
+	}
+	if snic < 18 || snic > 31 {
+		t.Errorf("1B copy @sNIC = %.1fµs, paper 24.5µs", snic)
+	}
+	// §6.1: full throughput at 256 KiB (double buffering).
+	if mb := tb.Metrics["fig5.copy256k-cpu-mbps"]; mb < 0.7*tb.Metrics["fig5.copy256k-rdma-mbps"] {
+		t.Errorf("256K copy = %.0f MB/s, want near raw RDMA %.0f", mb, tb.Metrics["fig5.copy256k-rdma-mbps"])
+	}
+}
+
+// TestFigure7Shape: individual revocation is linear, shared-tree
+// revocation is flat.
+func TestFigure7Shape(t *testing.T) {
+	tb := Figure7()
+	ind := tb.Metrics["fig7.revoke8-individual-us"]
+	shared := tb.Metrics["fig7.revoke8-shared-us"]
+	if ind < 4*shared {
+		t.Errorf("revoking 8 individual leases (%.1fµs) should be ≫ shared tree (%.1fµs)", ind, shared)
+	}
+}
+
+// TestFigure8Shape: fast-star beats star on large transfers; chain
+// beats fast-star on small ones.
+func TestFigure8Shape(t *testing.T) {
+	tb := Figure8()
+	if r := tb.Metrics["fig8.star-over-fast-64k"]; r < 1.3 {
+		t.Errorf("star/fast-star at 64K = %.2fx, paper ~1.6x", r)
+	}
+	if r := tb.Metrics["fig8.fast-over-chain-4k"]; r < 1.2 {
+		t.Errorf("fast-star/chain at 4K = %.2fx, paper ~1.45x", r)
+	}
+}
+
+// TestFigure2Shape: the headline traffic reduction.
+func TestFigure2Shape(t *testing.T) {
+	tb := Figure2()
+	if r := tb.Metrics["fig2.bytes-reduction"]; r < 2.0 {
+		t.Errorf("byte reduction = %.2fx, paper ~3x", r)
+	}
+	if r := tb.Metrics["fig2.datamsg-reduction"]; r < 1.5 {
+		t.Errorf("data-transfer reduction = %.2fx, paper ~2.5x", r)
+	}
+	tb.Print(os.Stderr)
+}
+
+// TestFigure12Shape: end-to-end speedup.
+func TestFigure12Shape(t *testing.T) {
+	tb := Figure12()
+	if s := tb.Metrics["fig12.speedup32"]; s < 1.3 {
+		t.Errorf("end-to-end speedup = %.2fx, paper ~1.47x", s)
+	}
+	tb.Print(os.Stderr)
+}
+
+// TestAllExperimentsRun executes every registered experiment once and
+// checks the tables render.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			tb := s.Run()
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", s.ID)
+			}
+			var b strings.Builder
+			tb.Print(&b)
+			if !strings.Contains(b.String(), s.ID) {
+				t.Errorf("%s table did not render", s.ID)
+			}
+		})
+	}
+}
+
+// TestMessageComplexityMatchesAnalysis: the measured star/chain
+// service-message ratio tracks §2.1's analytic 2N/(N+1).
+func TestMessageComplexityMatchesAnalysis(t *testing.T) {
+	tb := AblationMessageComplexity()
+	ratio := tb.Metrics["abl-msgs.ratio8"]
+	analytic := 16.0 / 9.0
+	if ratio < analytic*0.9 || ratio > analytic*1.1 {
+		t.Errorf("star/chain message ratio = %.2f, analytic %.2f", ratio, analytic)
+	}
+}

@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"fmt"
+
+	"fractos/internal/app/faceverify"
+	"fractos/internal/baseline"
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/device/gpu"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// gpuBatches are the batch sizes swept in Figure 9 (left).
+var gpuBatches = []int{1, 16, 64, 256, 1024}
+
+// gpuService wires a GPU adaptor and a client with one buffer set per
+// in-flight slot, for the GPU-service micro-benchmark (no storage).
+type gpuService struct {
+	app    *proc.Process
+	dev    *gpu.Device
+	invoke proc.Cap
+	slots  []gpuSlot
+	free   *sim.Semaphore
+	batch  int
+
+	lastTransfer sim.Time // upload time of the most recent request
+}
+
+type gpuSlot struct {
+	imgMem, probeMem            proc.Cap // app-side buffers
+	gpuImg, gpuProbe, gpuOut    proc.Cap
+	imgAddr, probeAddr, outAddr uint64
+	reply                       proc.Cap
+	replyTag                    uint64
+	imgOff, probeOff            int
+}
+
+func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService {
+	dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 96 << 20, LaunchOverhead: gpu.DefaultConfig().LaunchOverhead})
+	faceverify.RegisterKernel(dev)
+	ad := gpu.NewAdaptor(cl, 1, "gpu-adaptor", dev)
+	if err := ad.Start(tk); err != nil {
+		panic(err)
+	}
+	imgBytes := batch * faceverify.ImgSize
+	probeBytes := batch * faceverify.ProbeSize
+	slotBytes := imgBytes + probeBytes
+	g := &gpuService{dev: dev, batch: batch, free: sim.NewSemaphore(slots)}
+	g.app = proc.Attach(cl, 0, "gpu-client", slots*slotBytes+4096)
+	ctxInit, err := proc.GrantCap(ad.P, ad.CtxInit, g.app)
+	if err != nil {
+		panic(err)
+	}
+	d, err := g.app.Call(tk, ctxInit, nil, nil, gpu.SlotCont)
+	if err != nil {
+		panic(err)
+	}
+	allocReq, _ := d.Cap(gpu.SlotAlloc)
+	loadReq, _ := d.Cap(gpu.SlotLoad)
+	name := faceverify.KernelName
+	ld, err := g.app.Call(tk, loadReq,
+		[]wire.ImmArg{proc.U64Arg(8, uint64(len(name))), proc.BytesArg(16, []byte(name))},
+		nil, gpu.SlotCont)
+	if err != nil {
+		panic(err)
+	}
+	g.invoke, _ = ld.Cap(gpu.SlotKernel)
+
+	alloc := func(size int) (proc.Cap, uint64) {
+		d, err := g.app.Call(tk, allocReq, []wire.ImmArg{proc.U64Arg(8, uint64(size))}, nil, gpu.SlotCont)
+		if err != nil {
+			panic(err)
+		}
+		if st := d.U64(0); st != gpu.StatusOK {
+			panic(fmt.Sprintf("gpu alloc status %d", st))
+		}
+		c, _ := d.Cap(gpu.SlotBuf)
+		return c, d.U64(8)
+	}
+	for i := 0; i < slots; i++ {
+		var s gpuSlot
+		s.gpuImg, s.imgAddr = alloc(imgBytes)
+		s.gpuProbe, s.probeAddr = alloc(probeBytes)
+		s.gpuOut, s.outAddr = alloc(batch)
+		s.imgOff = i * slotBytes
+		s.probeOff = s.imgOff + imgBytes
+		if s.imgMem, err = g.app.MemoryCreate(tk, uint64(s.imgOff), uint64(imgBytes), cap.MemRights); err != nil {
+			panic(err)
+		}
+		if s.probeMem, err = g.app.MemoryCreate(tk, uint64(s.probeOff), uint64(probeBytes), cap.MemRights); err != nil {
+			panic(err)
+		}
+		s.replyTag = g.app.NewTag()
+		if s.reply, err = g.app.RequestCreate(tk, s.replyTag, nil, nil); err != nil {
+			panic(err)
+		}
+		g.slots = append(g.slots, s)
+	}
+	return g
+}
+
+// oneRequestTimed runs one request and returns the latency breakdown:
+// data-transfer time, kernel-execution time, and everything else
+// (FractOS request handling) — the stacked bars of Figure 9 (left).
+func (g *gpuService) oneRequestTimed(tk *sim.Task) (total, transfer, kernel sim.Time) {
+	start := tk.Now()
+	busy0 := g.dev.BusyTime
+	g.oneRequest(tk)
+	total = tk.Now() - start
+	kernel = g.dev.BusyTime - busy0
+	transfer = g.lastTransfer
+	return
+}
+
+// oneRequest uploads the image batch + probes, invokes the kernel, and
+// waits for its continuation — the single-round-trip invocation that
+// makes FractOS beat rCUDA's per-driver-call interposition (§6.3).
+func (g *gpuService) oneRequest(tk *sim.Task) {
+	g.free.Acquire(tk)
+	s := g.slots[len(g.slots)-1]
+	g.slots = g.slots[:len(g.slots)-1]
+	defer func() {
+		g.slots = append(g.slots, s)
+		g.free.Release()
+	}()
+	xferStart := tk.Now()
+	if err := g.app.MemoryCopy(tk, s.imgMem, s.gpuImg); err != nil {
+		panic(err)
+	}
+	if err := g.app.MemoryCopy(tk, s.probeMem, s.gpuProbe); err != nil {
+		panic(err)
+	}
+	g.lastTransfer = tk.Now() - xferStart
+	ao := gpu.ArgOffset(len(faceverify.KernelName), 0)
+	f := g.app.WaitTag(s.replyTag)
+	if err := g.app.Invoke(tk, g.invoke,
+		[]wire.ImmArg{
+			proc.U64Arg(ao, s.imgAddr), proc.U64Arg(ao+8, s.probeAddr),
+			proc.U64Arg(ao+16, s.outAddr), proc.U64Arg(ao+24, uint64(g.batch)),
+		},
+		[]proc.Arg{{Slot: gpu.SlotSuccess, Cap: s.reply}, {Slot: gpu.SlotError, Cap: s.reply}}); err != nil {
+		panic(err)
+	}
+	d, err := f.Wait(tk)
+	if err != nil {
+		panic(err)
+	}
+	d.Done()
+	if st := d.U64(0); st != gpu.StatusOK {
+		panic(fmt.Sprintf("gpu pipeline status %d", st))
+	}
+}
+
+// rcudaService is the same workload over rCUDA.
+type rcudaService struct {
+	cli   *baseline.RCUDAClient
+	batch int
+	slots []baseSlots
+	free  *sim.Semaphore
+	img   []byte
+	probe []byte
+}
+
+type baseSlots struct{ imgAddr, probeAddr, outAddr uint64 }
+
+func newRCUDAService(tk *sim.Task, cl *core.Cluster, batch, slots int) *rcudaService {
+	dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 96 << 20, LaunchOverhead: gpu.DefaultConfig().LaunchOverhead})
+	faceverify.RegisterKernel(dev)
+	srv := baseline.NewRCUDAServer(cl.K, cl.Net, 1, dev)
+	r := &rcudaService{
+		cli:   baseline.NewRCUDAClient(cl.K, cl.Net, 0, srv),
+		batch: batch,
+		free:  sim.NewSemaphore(slots),
+		img:   make([]byte, batch*faceverify.ImgSize),
+		probe: make([]byte, batch*faceverify.ProbeSize),
+	}
+	for i := 0; i < slots; i++ {
+		var s baseSlots
+		var err error
+		if s.imgAddr, err = r.cli.Malloc(tk, len(r.img)); err != nil {
+			panic(err)
+		}
+		if s.probeAddr, err = r.cli.Malloc(tk, len(r.probe)); err != nil {
+			panic(err)
+		}
+		if s.outAddr, err = r.cli.Malloc(tk, batch); err != nil {
+			panic(err)
+		}
+		r.slots = append(r.slots, s)
+	}
+	return r
+}
+
+func (r *rcudaService) oneRequest(tk *sim.Task) {
+	r.free.Acquire(tk)
+	s := r.slots[len(r.slots)-1]
+	r.slots = r.slots[:len(r.slots)-1]
+	defer func() {
+		r.slots = append(r.slots, s)
+		r.free.Release()
+	}()
+	if err := r.cli.MemcpyH2D(tk, s.imgAddr, r.img); err != nil {
+		panic(err)
+	}
+	if err := r.cli.MemcpyH2D(tk, s.probeAddr, r.probe); err != nil {
+		panic(err)
+	}
+	if err := r.cli.Launch(tk, faceverify.KernelName, s.imgAddr, s.probeAddr, s.outAddr, uint64(r.batch)); err != nil {
+		panic(err)
+	}
+	if _, err := r.cli.MemcpyD2H(tk, s.outAddr, r.batch); err != nil {
+		panic(err)
+	}
+}
+
+// localGPUTime is the no-network reference: host-GPU DMA plus kernel
+// execution on a local device.
+func localGPUTime(batch int) sim.Time {
+	var lat sim.Time
+	runOn(core.ClusterConfig{Nodes: 1}, func(tk *sim.Task, cl *core.Cluster) {
+		dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 96 << 20, LaunchOverhead: gpu.DefaultConfig().LaunchOverhead})
+		faceverify.RegisterKernel(dev)
+		mem := make([]byte, batch*(faceverify.ImgSize+faceverify.ProbeSize)+batch)
+		bytes := batch * (faceverify.ImgSize + faceverify.ProbeSize)
+		start := tk.Now()
+		tk.Sleep(sim.Time(float64(bytes) / 6e9 * 1e9)) // PCIe upload
+		args := []uint64{0, uint64(batch * faceverify.ImgSize),
+			uint64(batch * (faceverify.ImgSize + faceverify.ProbeSize)), uint64(batch)}
+		if _, err := dev.Exec(tk, faceverify.KernelName, mem, args); err != nil {
+			panic(err)
+		}
+		lat = tk.Now() - start
+	})
+	return lat
+}
+
+// Figure9 regenerates the GPU service comparison.
+func Figure9() *Table {
+	t := NewTable("fig9", "GPU service: kernel-execution latency (ms) and throughput (req/s)",
+		"batch", "FractOS@CPU", "(xfer/kernel/ovh)", "FractOS@sNIC", "rCUDA", "local GPU")
+	ms := func(d sim.Time) string { return fmt.Sprintf("%.3f", float64(d)/1e6) }
+	measureFr := func(p core.Placement, batch int) (lat, xfer, kern sim.Time) {
+		runOn(core.ClusterConfig{Nodes: 2, Placement: p}, func(tk *sim.Task, cl *core.Cluster) {
+			g := newGPUService(tk, cl, batch, 1)
+			lat, xfer, kern = g.oneRequestTimed(tk)
+		})
+		return
+	}
+	measureRC := func(batch int) sim.Time {
+		var lat sim.Time
+		runOn(core.ClusterConfig{Nodes: 2}, func(tk *sim.Task, cl *core.Cluster) {
+			r := newRCUDAService(tk, cl, batch, 1)
+			start := tk.Now()
+			r.oneRequest(tk)
+			lat = tk.Now() - start
+		})
+		return lat
+	}
+	for _, batch := range gpuBatches {
+		fc, xfer, kern := measureFr(core.CtrlOnCPU, batch)
+		fsn, _, _ := measureFr(core.CtrlOnSNIC, batch)
+		rc := measureRC(batch)
+		lg := localGPUTime(batch)
+		ovh := fc - xfer - kern
+		t.AddRow(fmt.Sprint(batch), ms(fc),
+			fmt.Sprintf("%s/%s/%s", ms(xfer), ms(kern), ms(ovh)),
+			ms(fsn), ms(rc), ms(lg))
+		if batch == 64 {
+			t.Metric("lat64-fractos-ms", float64(fc)/1e6)
+			t.Metric("lat64-rcuda-ms", float64(rc)/1e6)
+			t.Metric("lat64-rcuda-over-fractos", float64(rc)/float64(fc))
+			t.Metric("lat64-overhead-ms", float64(ovh)/1e6)
+		}
+	}
+	t.Note("xfer/kernel/ovh = data transfers, kernel execution, FractOS request handling (the paper's breakdown)")
+
+	// Throughput: fixed batch 1024 (paper, right panel), in-flight sweep.
+	const tputBatch = 1024
+	const reqsPerWorker = 4
+	tput := func(run func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time, inflight int) float64 {
+		var elapsed sim.Time
+		runOn(core.ClusterConfig{Nodes: 2}, func(tk *sim.Task, cl *core.Cluster) {
+			elapsed = run(tk, cl, inflight)
+		})
+		total := inflight * reqsPerWorker
+		return float64(total) / (float64(elapsed) / 1e9)
+	}
+	frRun := func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time {
+		g := newGPUService(tk, cl, tputBatch, inflight)
+		var wg sim.WaitGroup
+		wg.Add(inflight)
+		start := tk.Now()
+		for w := 0; w < inflight; w++ {
+			cl.K.Spawn("worker", func(wt *sim.Task) {
+				for r := 0; r < reqsPerWorker; r++ {
+					g.oneRequest(wt)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait(tk)
+		return tk.Now() - start
+	}
+	rcRun := func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time {
+		r := newRCUDAService(tk, cl, tputBatch, inflight)
+		var wg sim.WaitGroup
+		wg.Add(inflight)
+		start := tk.Now()
+		for w := 0; w < inflight; w++ {
+			cl.K.Spawn("worker", func(wt *sim.Task) {
+				for q := 0; q < reqsPerWorker; q++ {
+					r.oneRequest(wt)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait(tk)
+		return tk.Now() - start
+	}
+	localIdeal := 1e9 / (float64(gpu.DefaultConfig().LaunchOverhead) + float64(tputBatch)*float64(faceverify.KernelPerImage))
+	t.AddRow("", "", "", "", "", "")
+	t.AddRow("inflight", "FractOS req/s", "", "", "rCUDA req/s", "ideal GPU req/s")
+	for _, inflight := range []int{1, 2, 4, 8} {
+		ft := tput(frRun, inflight)
+		rt := tput(rcRun, inflight)
+		t.AddRow(fmt.Sprint(inflight), fmt.Sprintf("%.0f", ft), "", "", fmt.Sprintf("%.0f", rt),
+			fmt.Sprintf("%.0f", localIdeal))
+		if inflight == 4 {
+			t.Metric("tput4-fractos", ft)
+			t.Metric("tput4-rcuda", rt)
+			t.Metric("tput4-ideal", localIdeal)
+		}
+	}
+	t.Note("paper: FractOS reaches near-optimal throughput with >1 in-flight request; rCUDA lags")
+	return t
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"fractos/internal/core"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// AblationMessageComplexity verifies §2.1's analysis empirically: for
+// an N-service pipeline, the centralized model exchanges ~2N
+// steady-state service interactions while the distributed model needs
+// ~N+1. We run the Figure 8 pipeline under both models and count
+// cross-node messages, split into service-level interactions
+// (invocations + deliveries + data transfers) and protocol overhead
+// (acks, validations, completions).
+func AblationMessageComplexity() *Table {
+	t := NewTable("abl-msgs", "Message complexity: centralized vs distributed pipeline",
+		"stages", "star svc-msgs", "chain svc-msgs", "measured ratio", "analytic 2N/(N+1)", "star total", "chain total")
+	for _, stages := range []int{2, 4, 8} {
+		starSvc, starAll := countPipelineMsgs(stages, false)
+		chainSvc, chainAll := countPipelineMsgs(stages, true)
+		t.AddRow(fmt.Sprint(stages),
+			fmt.Sprint(starSvc), fmt.Sprint(chainSvc),
+			fmt.Sprintf("%.2fx", float64(starSvc)/float64(chainSvc)),
+			fmt.Sprintf("%.2fx", float64(2*stages)/float64(stages+1)),
+			fmt.Sprint(starAll), fmt.Sprint(chainAll))
+		if stages == 8 {
+			t.Metric("star8-svc", float64(starSvc))
+			t.Metric("chain8-svc", float64(chainSvc))
+			t.Metric("ratio8", float64(starSvc)/float64(chainSvc))
+		}
+	}
+	t.Note("svc-msgs: cross-node data transfers + invocation deliveries (the interactions §2.1 counts);")
+	t.Note("total additionally includes protocol acks/validations/completions")
+	t.Note("§2.1: the distributed model reduces steady-state messages by up to 2x (from 2N to N+1)")
+	return t
+}
+
+// countPipelineMsgs runs one pipeline execution and counts cross-node
+// traffic. Service messages ≈ data transfers (coalescing RDMA chunks)
+// plus CtrlInvoke forwards (the paper's schematic arrows).
+func countPipelineMsgs(stages int, chain bool) (svcMsgs, total int) {
+	runOn(core.ClusterConfig{Nodes: stages + 1}, func(tk *sim.Task, cl *core.Cluster) {
+		pl := newPipeline(tk, cl, stages, 4<<10)
+		counting := false
+		var last fabric.TraceEvent
+		cl.Net.SetTrace(func(e fabric.TraceEvent) {
+			if !counting {
+				return
+			}
+			src, _ := cl.Net.Lookup(e.From)
+			dst, _ := cl.Net.Lookup(e.To)
+			if src == nil || dst == nil || src.Loc.Node == dst.Loc.Node {
+				return
+			}
+			total++
+			if e.RDMA {
+				if last.RDMA && last.From == e.From && last.To == e.To {
+					last = e
+					return // chunk continuation of one logical transfer
+				}
+				svcMsgs++
+			} else if e.Type == wire.TCtrlInvoke || e.Type == wire.TDeliver {
+				svcMsgs++
+			}
+			last = e
+		})
+		counting = true
+		if chain {
+			pl.runChain(tk)
+		} else {
+			pl.runStar(tk)
+		}
+		counting = false
+	})
+	return
+}

@@ -1,0 +1,243 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+func us(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+
+func run(t *testing.T, nodes int, fn func(tk *sim.Task, cl *core.Cluster)) {
+	t.Helper()
+	cl := core.NewCluster(core.ClusterConfig{Nodes: nodes})
+	done := false
+	cl.K.Spawn("main", func(tk *sim.Task) { fn(tk, cl); done = true })
+	cl.K.Run()
+	cl.K.Shutdown()
+	if !done {
+		t.Fatal("test did not complete (deadlock?)")
+	}
+}
+
+// worker deploys a service that sleeps `work`, appends its mark to the
+// immediates, and invokes the continuation in slot 0.
+func worker(t *testing.T, cl *core.Cluster, node int, name string, mark byte, work sim.Time) *proc.Process {
+	t.Helper()
+	p := proc.Attach(cl, node, name, 0)
+	cl.K.Spawn(name+".loop", func(st *sim.Task) {
+		for {
+			d, ok := p.Receive(st)
+			if !ok {
+				return
+			}
+			st.Sleep(work)
+			cont, haveCont := d.Cap(0)
+			if haveCont {
+				out := append(append([]byte(nil), d.Imms...), mark)
+				if err := p.Invoke(st, cont, []wire.ImmArg{proc.BytesArg(0, out)}, nil); err != nil {
+					// A worker killed mid-request cannot reply; that is
+					// the failure-injection tests' expected outcome.
+					t.Logf("%s: reply failed: %v", name, err)
+				}
+			}
+			d.Done()
+		}
+	})
+	return p
+}
+
+// grantReq creates a tag-1 Request at the worker and grants it to the
+// client.
+func grantReq(tk *sim.Task, t *testing.T, w *proc.Process, client *proc.Process) proc.Cap {
+	t.Helper()
+	req, err := w.RequestCreate(tk, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := proc.GrantCap(w, req, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestChainRunsStagesInOrder(t *testing.T) {
+	run(t, 4, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		var steps []Step
+		for i := 0; i < 3; i++ {
+			w := worker(t, cl, i+1, string(rune('a'+i)), byte('1'+i), us(10))
+			steps = append(steps, Step{Req: grantReq(tk, t, w, client), ContSlot: 0})
+		}
+		entry, done, err := Chain(tk, client, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Invoke(tk, entry, []wire.ImmArg{proc.BytesArg(0, []byte("x"))}, nil); err != nil {
+			t.Fatal(err)
+		}
+		d, err := done.Wait(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Done()
+		if string(d.Imms) != "x123" {
+			t.Fatalf("chain result = %q, want x123", d.Imms)
+		}
+	})
+}
+
+func TestChainEmpty(t *testing.T) {
+	run(t, 1, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		if _, _, err := Chain(tk, client, nil); err == nil {
+			t.Fatal("empty chain accepted")
+		}
+	})
+}
+
+func TestScatterJoinsAllBranches(t *testing.T) {
+	run(t, 4, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		var branches []Branch
+		for i := 0; i < 3; i++ {
+			w := worker(t, cl, i+1, string(rune('p'+i)), byte('A'+i), us(20*float64(i+1)))
+			branches = append(branches, Branch{Req: grantReq(tk, t, w, client), ContSlot: 0})
+		}
+		join, err := Scatter(tk, client, branches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := join.Done.Wait(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != 3 {
+			t.Fatalf("joined %d branches, want 3", len(all))
+		}
+		got := map[string]bool{}
+		for _, d := range all {
+			got[string(d.Imms)] = true
+		}
+		for _, want := range []string{"A", "B", "C"} {
+			if !got[want] {
+				t.Errorf("branch %q missing from join (got %v)", want, got)
+			}
+		}
+	})
+}
+
+// TestScatterRunsConcurrently: three 100µs branches join in ~one
+// branch time, not three.
+func TestScatterRunsConcurrently(t *testing.T) {
+	run(t, 4, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		var branches []Branch
+		for i := 0; i < 3; i++ {
+			w := worker(t, cl, i+1, "w", 'x', us(100))
+			branches = append(branches, Branch{Req: grantReq(tk, t, w, client), ContSlot: 0})
+		}
+		start := tk.Now()
+		join, err := Scatter(tk, client, branches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := join.Done.Wait(tk); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := tk.Now() - start
+		if elapsed > us(200) {
+			t.Errorf("3×100µs branches took %v; fork/join must overlap them", elapsed)
+		}
+	})
+}
+
+func TestJoinValidation(t *testing.T) {
+	run(t, 1, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		if _, err := Join(tk, client, 0); err == nil {
+			t.Fatal("zero-branch join accepted")
+		}
+	})
+}
+
+// TestForkJoinIntoChain composes the patterns: scatter across two
+// workers, then push the joined results through a chain stage — a
+// small dataflow DAG executing across four nodes.
+func TestForkJoinIntoChain(t *testing.T) {
+	run(t, 4, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		w1 := worker(t, cl, 1, "w1", 'a', us(10))
+		w2 := worker(t, cl, 2, "w2", 'b', us(10))
+		w3 := worker(t, cl, 3, "w3", 'Z', us(10))
+
+		join, err := Scatter(tk, client, []Branch{
+			{Req: grantReq(tk, t, w1, client), ContSlot: 0},
+			{Req: grantReq(tk, t, w2, client), ContSlot: 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := join.Done.Wait(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merged []byte
+		for _, d := range all {
+			merged = append(merged, d.Imms...)
+		}
+		entry, done, err := Chain(tk, client, []Step{{Req: grantReq(tk, t, w3, client), ContSlot: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Invoke(tk, entry, []wire.ImmArg{proc.BytesArg(0, merged)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		d, err := done.Wait(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Done()
+		if len(d.Imms) != 3 || d.Imms[2] != 'Z' {
+			t.Fatalf("dag result = %q", d.Imms)
+		}
+	})
+}
+
+// TestScatterWithDeadBranch: if a branch's provider dies, the join
+// never completes — the caller bounds the wait with WaitTimeout and
+// recovers instead of hanging.
+func TestScatterWithDeadBranch(t *testing.T) {
+	run(t, 4, func(tk *sim.Task, cl *core.Cluster) {
+		client := proc.Attach(cl, 0, "client", 0)
+		w1 := worker(t, cl, 1, "w1", 'a', us(10))
+		w2 := worker(t, cl, 2, "w2", 'b', us(10))
+		b1 := Branch{Req: grantReq(tk, t, w1, client), ContSlot: 0}
+		b2 := Branch{Req: grantReq(tk, t, w2, client), ContSlot: 0}
+
+		// Kill w2 before the scatter: its invocation fails outright.
+		cl.CtrlFor(2).FailProcess(w2.ID())
+		tk.Sleep(us(300))
+		if _, err := Scatter(tk, client, []Branch{b1, b2}); err == nil {
+			t.Fatal("scatter with a dead branch's revoked Request succeeded")
+		}
+
+		// Kill mid-flight: the invocation is accepted but the branch
+		// never answers; the join times out.
+		w3 := worker(t, cl, 2, "w3", 'c', us(10))
+		b3 := Branch{Req: grantReq(tk, t, w3, client), ContSlot: 0}
+		join, err := Scatter(tk, client, []Branch{b1, b3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.CtrlFor(2).FailProcess(w3.ID())
+		if _, err := join.Done.WaitTimeout(tk, us(5000)); err != sim.ErrTimeout {
+			t.Fatalf("join over dead branch: err = %v, want timeout", err)
+		}
+	})
+}

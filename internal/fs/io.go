@@ -1,0 +1,105 @@
+package fs
+
+import (
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+)
+
+// handleIO serves FS-mediated reads and writes (FS mode): every byte
+// is staged through the FS Process's memory between the client and the
+// block device — the centralized model whose extra network transfer
+// DAX eliminates (§6.4).
+func (s *Service) handleIO(t *sim.Task, d *proc.Delivery, isWrite bool) {
+	if st := d.U64(FSImmStatus); st != 0 {
+		s.fail(t, d, st)
+		return
+	}
+	f, ok := s.byID[d.U64(FSImmFile)]
+	if !ok {
+		s.fail(t, d, StatusNoFile)
+		return
+	}
+	off, n := d.U64(FSImmOff), d.U64(FSImmLen)
+	if n == 0 || off+n > f.size {
+		s.fail(t, d, StatusBounds)
+		return
+	}
+	data, ok := d.Cap(SlotData)
+	if !ok || data.Size() != n {
+		s.fail(t, d, StatusBadArg)
+		return
+	}
+
+	// One staging buffer serves the whole operation extent by extent.
+	s.stageSem.Acquire(t)
+	sb := s.stages[len(s.stages)-1]
+	s.stages = s.stages[:len(s.stages)-1]
+	defer func() {
+		s.stages = append(s.stages, sb)
+		s.stageSem.Release()
+	}()
+
+	// Walk the extent spans covered by [off, off+n).
+	done := uint64(0)
+	for done < n {
+		cur := off + done
+		ei := int(cur / ExtentSize)
+		eo := cur % ExtentSize
+		cn := ExtentSize - eo
+		if cn > n-done {
+			cn = n - done
+		}
+		if ei >= len(f.extents) {
+			s.fail(t, d, StatusBounds)
+			return
+		}
+		ext := f.extents[ei]
+
+		// A view of the staging buffer sized for this span; the span
+		// lands at [done, done+cn) of the client's Memory via a
+		// matching view on the client capability.
+		stView, err := s.P.MemoryDiminish(t, sb.cap, 0, cn, 0)
+		if err != nil {
+			s.fail(t, d, StatusIOErr)
+			return
+		}
+		cliView := data
+		if n != cn {
+			cliView, err = s.P.MemoryDiminish(t, data, done, cn, 0)
+			if err != nil {
+				s.fail(t, d, StatusIOErr)
+				return
+			}
+		}
+
+		stage := Stage{Cap: stView, Buf: s.P.Arena()[sb.off : sb.off+int(cn)]}
+		var st uint64
+		if isWrite {
+			// client → staging → device.
+			if err := s.P.MemoryCopy(t, cliView, stView); err != nil {
+				s.fail(t, d, StatusIOErr)
+				return
+			}
+			st = ext.vol.WriteAt(t, eo, cn, stage)
+		} else {
+			// device → staging → client.
+			st = ext.vol.ReadAt(t, eo, cn, stage)
+			if st == 0 {
+				if err := s.P.MemoryCopy(t, stView, cliView); err != nil {
+					s.fail(t, d, StatusIOErr)
+					return
+				}
+			}
+		}
+		s.P.Drop(t, stView)
+		if cliView.ID() != data.ID() {
+			s.P.Drop(t, cliView)
+		}
+		if st != 0 {
+			s.fail(t, d, StatusIOErr)
+			return
+		}
+		done += cn
+	}
+	s.fail(t, d, StatusOK) // status 0 = success
+}

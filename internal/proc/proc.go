@@ -1,0 +1,447 @@
+// Package proc is libfractos: the Process-side runtime. A Process —
+// user application or device adaptor, FractOS does not distinguish —
+// is connected to exactly one Controller through request/response
+// queues. All syscalls are posted asynchronously (Table 1) and this
+// runtime pairs completions back to callers through futures, giving
+// the synchronous-looking API the paper's C++ prototype builds with
+// its promise/future library.
+package proc
+
+import (
+	"errors"
+	"fmt"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// ErrDisconnected is returned when the Process's channel to its
+// Controller is severed.
+var ErrDisconnected = errors.New("proc: controller channel severed")
+
+// ErrForeignCap is returned when a capability handle minted for one
+// Process is used through another: cids are Process-local indices, so
+// a foreign handle would silently address an unrelated entry.
+var ErrForeignCap = errors.New("proc: capability handle belongs to a different process")
+
+// Process is one FractOS Process and its connection to its Controller.
+type Process struct {
+	k      *sim.Kernel
+	net    *fabric.Net
+	id     cap.ProcID
+	ep     *fabric.Endpoint
+	ctrl   *core.Controller
+	ctrlEP fabric.EndpointID
+
+	nextToken uint64
+	pending   map[uint64]*sim.Future[*wire.Completion]
+
+	nextTag  uint64
+	waiters  map[uint64]*sim.Future[*Delivery]
+	subs     map[uint64]*sim.Chan[*Delivery]
+	incoming *sim.Chan[*Delivery]
+
+	nextCB   uint64
+	monitors map[uint64]func(kind uint8)
+
+	alloc *allocator
+	dead  bool
+}
+
+// Cap is a Process-side handle to a capability: a cid plus cached
+// metadata. The authoritative state lives with the Controllers.
+type Cap struct {
+	p      *Process
+	id     cap.CapID
+	kind   cap.Kind
+	rights cap.Rights
+	size   uint64
+}
+
+// ID returns the capability index (cid).
+func (c Cap) ID() cap.CapID { return c.id }
+
+// Kind returns the object kind the capability references.
+func (c Cap) Kind() cap.Kind { return c.kind }
+
+// Rights returns the cached rights.
+func (c Cap) Rights() cap.Rights { return c.rights }
+
+// Size returns the cached Memory extent (0 for Requests).
+func (c Cap) Size() uint64 { return c.size }
+
+// Valid reports whether the handle refers to a capability at all.
+func (c Cap) Valid() bool { return c.p != nil && c.id != cap.NilCap }
+
+// Arg binds a capability to a Request argument slot.
+type Arg struct {
+	Slot uint16
+	Cap  Cap
+}
+
+// Attach creates a Process on node `node` of the cluster, managed by
+// that node's Controller, with an RDMA arena of arenaSize bytes.
+func Attach(cl *core.Cluster, node int, name string, arenaSize int) *Process {
+	return AttachTo(cl.K, cl.Net, cl.CtrlFor(node), cl.NewProcID(), name,
+		fabric.Location{Node: node, Domain: fabric.Host}, arenaSize)
+}
+
+// AttachTo creates a Process managed by an explicit Controller.
+func AttachTo(k *sim.Kernel, net *fabric.Net, ctrl *core.Controller, pid cap.ProcID,
+	name string, loc fabric.Location, arenaSize int) *Process {
+	ep := ctrl.AttachProcess(pid, name, loc, arenaSize)
+	p := &Process{
+		k:        k,
+		net:      net,
+		id:       pid,
+		ep:       ep,
+		ctrl:     ctrl,
+		ctrlEP:   ctrl.EndpointID(),
+		pending:  make(map[uint64]*sim.Future[*wire.Completion]),
+		waiters:  make(map[uint64]*sim.Future[*Delivery]),
+		subs:     make(map[uint64]*sim.Chan[*Delivery]),
+		incoming: sim.NewChan[*Delivery](k, name+".deliveries", 0),
+		monitors: make(map[uint64]func(uint8)),
+		alloc:    newAllocator(arenaSize),
+	}
+	k.Spawn(name+".rx", p.rxLoop)
+	return p
+}
+
+// ID returns the Process id.
+func (p *Process) ID() cap.ProcID { return p.id }
+
+// Arena returns the Process's RDMA-registered memory.
+func (p *Process) Arena() []byte { return p.ep.Arena() }
+
+// Endpoint returns the Process's fabric endpoint id.
+func (p *Process) Endpoint() fabric.EndpointID { return p.ep.ID }
+
+// Kernel returns the simulation kernel.
+func (p *Process) Kernel() *sim.Kernel { return p.k }
+
+// rxLoop demultiplexes traffic from the Controller.
+func (p *Process) rxLoop(t *sim.Task) {
+	for {
+		d, ok := p.ep.Inbox.Recv(t)
+		if !ok {
+			return
+		}
+		switch m := d.Msg.(type) {
+		case *wire.Completion:
+			if f, ok := p.pending[m.Token]; ok {
+				delete(p.pending, m.Token)
+				f.Set(m)
+			}
+		case *wire.Deliver:
+			dv := &Delivery{p: p, Seq: m.Seq, Tag: m.Tag, Imms: m.Imms, Caps: m.Caps}
+			if ch, ok := p.subs[m.Tag]; ok {
+				ch.Send(t, dv)
+			} else if f, ok := p.waiters[m.Tag]; ok {
+				delete(p.waiters, m.Tag)
+				f.Set(dv)
+			} else {
+				p.incoming.Send(t, dv)
+			}
+		case *wire.MonitorCB:
+			if fn, ok := p.monitors[m.Callback]; ok {
+				kind := m.Kind
+				// Callbacks may issue syscalls, so they must not run
+				// inside the receive loop.
+				p.k.Spawn(p.ep.Name+".monitorcb", func(*sim.Task) { fn(kind) })
+			}
+		}
+	}
+}
+
+// checkOwn verifies capability handles belong to this Process.
+func (p *Process) checkOwn(caps ...Cap) error {
+	for _, c := range caps {
+		if c.p != nil && c.p != p {
+			return ErrForeignCap
+		}
+	}
+	return nil
+}
+
+// checkArgs verifies the handles inside argument lists.
+func (p *Process) checkArgs(args []Arg) error {
+	for _, a := range args {
+		if a.Cap.p != nil && a.Cap.p != p {
+			return ErrForeignCap
+		}
+	}
+	return nil
+}
+
+// submit posts a syscall and returns the future of its completion.
+func (p *Process) submit(build func(token uint64) wire.Message) *sim.Future[*wire.Completion] {
+	f := sim.NewFuture[*wire.Completion](p.k)
+	p.nextToken++
+	token := p.nextToken
+	p.pending[token] = f
+	if !p.net.Send(p.ep.ID, p.ctrlEP, build(token)) {
+		delete(p.pending, token)
+		f.Fail(ErrDisconnected)
+	}
+	return f
+}
+
+// wait blocks on a syscall completion and converts its status.
+func wait(t *sim.Task, f *sim.Future[*wire.Completion]) (*wire.Completion, error) {
+	m, err := f.Wait(t)
+	if err != nil {
+		return nil, err
+	}
+	if m.Status != wire.StatusOK {
+		return m, m.Status.Err()
+	}
+	return m, nil
+}
+
+// Null performs the no-op syscall (Table 3's micro-benchmark).
+func (p *Process) Null(t *sim.Task) error {
+	_, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.Null{Token: tok}
+	}))
+	return err
+}
+
+// MemoryCreate registers [base, base+size) of the arena as a Memory
+// object (memory_create).
+func (p *Process) MemoryCreate(t *sim.Task, base, size uint64, perms cap.Rights) (Cap, error) {
+	m, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.MemCreate{Token: tok, Base: base, Size: size, Perms: perms}
+	}))
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: p, id: m.Cid, kind: cap.KindMemory, rights: perms & cap.MemRights, size: size}, nil
+}
+
+// AllocMemory allocates a region from the arena and registers it as a
+// Memory object in one step, returning the capability and the backing
+// bytes.
+func (p *Process) AllocMemory(t *sim.Task, size int, perms cap.Rights) (Cap, []byte, error) {
+	off, err := p.alloc.alloc(size)
+	if err != nil {
+		return Cap{}, nil, err
+	}
+	c, err := p.MemoryCreate(t, uint64(off), uint64(size), perms)
+	if err != nil {
+		p.alloc.free(off)
+		return Cap{}, nil, err
+	}
+	return c, p.Arena()[off : off+size], nil
+}
+
+// MemoryDiminish derives a narrower view of a Memory capability
+// (memory_diminish).
+func (p *Process) MemoryDiminish(t *sim.Task, c Cap, offset, size uint64, drop cap.Rights) (Cap, error) {
+	if err := p.checkOwn(c); err != nil {
+		return Cap{}, err
+	}
+	m, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.MemDiminish{Token: tok, Cid: c.id, Offset: offset, Size: size, Drop: drop}
+	}))
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: p, id: m.Cid, kind: cap.KindMemory, rights: c.rights.Diminish(drop), size: size}, nil
+}
+
+// MemoryCopy copies all bytes from src into dst (memory_copy),
+// wherever either lives.
+func (p *Process) MemoryCopy(t *sim.Task, src, dst Cap) error {
+	_, err := wait(t, p.MemoryCopyAsync(src, dst))
+	return err
+}
+
+// MemoryCopyAsync starts a memory_copy and returns its completion
+// future, for pipelined transfers.
+func (p *Process) MemoryCopyAsync(src, dst Cap) *sim.Future[*wire.Completion] {
+	if err := p.checkOwn(src, dst); err != nil {
+		f := sim.NewFuture[*wire.Completion](p.k)
+		f.Fail(err)
+		return f
+	}
+	return p.submit(func(tok uint64) wire.Message {
+		return &wire.MemCopy{Token: tok, SrcCid: src.id, DstCid: dst.id}
+	})
+}
+
+// RequestCreate creates a new Request provided by this Process
+// (request_create). Tag identifies the RPC to the provider's serve
+// loop; invocations of this Request (and all Requests derived from it)
+// are delivered carrying it.
+func (p *Process) RequestCreate(t *sim.Task, tag uint64, imms []wire.ImmArg, args []Arg) (Cap, error) {
+	if err := p.checkArgs(args); err != nil {
+		return Cap{}, err
+	}
+	m, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.ReqCreate{Token: tok, Parent: cap.NilCap, Tag: tag, Imms: imms, Caps: toSlots(args)}
+	}))
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: p, id: m.Cid, kind: cap.KindRequest, rights: cap.ReqRights}, nil
+}
+
+// Derive refines an existing Request with additional arguments
+// (request_create with an existing Request); already-set arguments are
+// immutable.
+func (p *Process) Derive(t *sim.Task, parent Cap, imms []wire.ImmArg, args []Arg) (Cap, error) {
+	if err := p.checkOwn(parent); err != nil {
+		return Cap{}, err
+	}
+	if err := p.checkArgs(args); err != nil {
+		return Cap{}, err
+	}
+	m, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.ReqCreate{Token: tok, Parent: parent.id, Imms: imms, Caps: toSlots(args)}
+	}))
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: p, id: m.Cid, kind: cap.KindRequest, rights: parent.rights}, nil
+}
+
+// Invoke invokes a Request (request_invoke) with invoke-time argument
+// refinements. It returns once the invocation has been accepted and
+// delivered/queued at the provider; results, if any, arrive through
+// continuation Requests.
+func (p *Process) Invoke(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg) error {
+	_, err := wait(t, p.InvokeAsync(req, imms, args))
+	return err
+}
+
+// InvokeAsync starts an invocation and returns its acceptance future.
+func (p *Process) InvokeAsync(req Cap, imms []wire.ImmArg, args []Arg) *sim.Future[*wire.Completion] {
+	err := p.checkOwn(req)
+	if err == nil {
+		err = p.checkArgs(args)
+	}
+	if err != nil {
+		f := sim.NewFuture[*wire.Completion](p.k)
+		f.Fail(err)
+		return f
+	}
+	return p.submit(func(tok uint64) wire.Message {
+		return &wire.ReqInvoke{Token: tok, Cid: req.id, Imms: imms, Caps: toSlots(args)}
+	})
+}
+
+// Revtree creates a separately revocable child capability
+// (cap_create_revtree).
+func (p *Process) Revtree(t *sim.Task, c Cap) (Cap, error) {
+	if err := p.checkOwn(c); err != nil {
+		return Cap{}, err
+	}
+	m, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.CapRevtree{Token: tok, Cid: c.id}
+	}))
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: p, id: m.Cid, kind: c.kind, rights: c.rights, size: c.size}, nil
+}
+
+// Revoke revokes a capability: the object it references and all
+// revocation-tree descendants are invalidated immediately at the owner
+// (cap_revoke).
+func (p *Process) Revoke(t *sim.Task, c Cap) error {
+	if err := p.checkOwn(c); err != nil {
+		return err
+	}
+	_, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.CapRevoke{Token: tok, Cid: c.id}
+	}))
+	return err
+}
+
+// Drop discards the capability-space entry without revoking.
+func (p *Process) Drop(t *sim.Task, c Cap) error {
+	if err := p.checkOwn(c); err != nil {
+		return err
+	}
+	_, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.CapDrop{Token: tok, Cid: c.id}
+	}))
+	return err
+}
+
+// MonitorDelegate registers fn to run when every child delegated from
+// c has been invalidated (monitor_delegate, §3.6). The capability must
+// reference an object owned by this Process's Controller and must not
+// have children yet.
+func (p *Process) MonitorDelegate(t *sim.Task, c Cap, fn func()) error {
+	p.nextCB++
+	id := p.nextCB
+	p.monitors[id] = func(uint8) { fn() }
+	_, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.MonitorDelegate{Token: tok, Cid: c.id, Callback: id}
+	}))
+	if err != nil {
+		delete(p.monitors, id)
+	}
+	return err
+}
+
+// MonitorReceive registers fn to run when c's object is invalidated —
+// by explicit revocation or failure (monitor_receive, §3.6).
+func (p *Process) MonitorReceive(t *sim.Task, c Cap, fn func()) error {
+	p.nextCB++
+	id := p.nextCB
+	p.monitors[id] = func(uint8) { fn() }
+	_, err := wait(t, p.submit(func(tok uint64) wire.Message {
+		return &wire.MonitorReceive{Token: tok, Cid: c.id, Callback: id}
+	}))
+	if err != nil {
+		delete(p.monitors, id)
+	}
+	return err
+}
+
+// Bye announces a graceful exit; the Controller revokes everything the
+// Process provided.
+func (p *Process) Bye() {
+	p.dead = true
+	p.net.Send(p.ep.ID, p.ctrlEP, &wire.ProcBye{})
+}
+
+func toSlots(args []Arg) []wire.CapSlot {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]wire.CapSlot, 0, len(args))
+	for _, a := range args {
+		out = append(out, wire.CapSlot{Slot: a.Slot, Cid: a.Cap.id})
+	}
+	return out
+}
+
+// GrantCap hands a capability from one Process to another through the
+// trusted bootstrap path (the paper's key/value bootstrap service).
+// Normal capability flow is via Request arguments; this is only for
+// handing a fresh Process its initial capabilities.
+func GrantCap(from *Process, c Cap, to *Process) (Cap, error) {
+	cid, err := core.Grant(from.ctrl, from.id, c.id, to.ctrl, to.id)
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{p: to, id: cid, kind: c.kind, rights: c.rights, size: c.size}, nil
+}
+
+// CapFromDelivered wraps a delivered capability descriptor in a Cap
+// handle bound to this Process.
+func (p *Process) CapFromDelivered(d wire.DeliveredCap) Cap {
+	return Cap{p: p, id: d.Cid, kind: d.Kind, rights: d.Rights, size: d.Size}
+}
+
+// fmt stringer for diagnostics.
+func (c Cap) String() string {
+	return fmt.Sprintf("cap(cid=%d %v %v size=%d)", c.id, c.kind, c.rights, c.size)
+}

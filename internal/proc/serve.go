@@ -1,0 +1,168 @@
+package proc
+
+import (
+	"encoding/binary"
+
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// Delivery is a request_receive descriptor: an invocation that arrived
+// at this Process. Imms is the merged immediate-argument buffer; Caps
+// are the delegated capability arguments, already installed in this
+// Process's capability space.
+type Delivery struct {
+	p    *Process
+	Seq  uint64
+	Tag  uint64
+	Imms []byte
+	Caps []wire.DeliveredCap
+
+	acked bool
+}
+
+// Cap returns the delegated capability in the given argument slot.
+func (d *Delivery) Cap(slot uint16) (Cap, bool) {
+	for _, c := range d.Caps {
+		if c.Slot == slot {
+			return d.p.CapFromDelivered(c), true
+		}
+	}
+	return Cap{}, false
+}
+
+// U64 reads a little-endian uint64 immediate at offset, zero if out of
+// range (services define their own argument layouts).
+func (d *Delivery) U64(off int) uint64 {
+	if off < 0 || off+8 > len(d.Imms) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.Imms[off:])
+}
+
+// Done acknowledges the delivery, releasing one congestion-window
+// credit at the Controller (§4). Safe to call more than once.
+func (d *Delivery) Done() {
+	if d.acked {
+		return
+	}
+	d.acked = true
+	d.p.net.Send(d.p.ep.ID, d.p.ctrlEP, &wire.DeliverDone{Seq: d.Seq})
+}
+
+// Receive blocks until the next unmatched invocation arrives
+// (request_receive). The caller must call Done on the result.
+func (p *Process) Receive(t *sim.Task) (*Delivery, bool) {
+	return p.incoming.Recv(t)
+}
+
+// ReceiveTimeout is Receive with a virtual-time deadline.
+func (p *Process) ReceiveTimeout(t *sim.Task, d sim.Time) (*Delivery, bool) {
+	return p.incoming.RecvTimeout(t, d)
+}
+
+// NewTag allocates a Process-unique Request tag. Tags starting at
+// 1<<32 are reserved for reply Requests; service tags should be small
+// constants.
+func (p *Process) NewTag() uint64 {
+	p.nextTag++
+	return (1 << 32) + p.nextTag
+}
+
+// WaitTag blocks until an invocation with the given tag arrives,
+// bypassing the Receive queue. Register interest before invoking to
+// avoid racing the reply into the shared queue.
+func (p *Process) WaitTag(tag uint64) *sim.Future[*Delivery] {
+	f, ok := p.waiters[tag]
+	if !ok {
+		f = sim.NewFuture[*Delivery](p.k)
+		p.waiters[tag] = f
+	}
+	return f
+}
+
+// Subscribe routes every delivery with the given tag into a dedicated
+// channel, bypassing both Receive and WaitTag. Use it when multiple
+// invocations of the same Request are expected (e.g. a fork/join
+// collection point). Unsubscribe to stop.
+func (p *Process) Subscribe(tag uint64) *sim.Chan[*Delivery] {
+	ch, ok := p.subs[tag]
+	if !ok {
+		ch = sim.NewChan[*Delivery](p.k, p.ep.Name+".sub", 0)
+		p.subs[tag] = ch
+	}
+	return ch
+}
+
+// Unsubscribe removes a tag subscription; later deliveries flow to
+// WaitTag/Receive again.
+func (p *Process) Unsubscribe(tag uint64) {
+	delete(p.subs, tag)
+}
+
+// ReplyRequest creates a fresh one-shot Request served by this Process
+// with a unique tag, for use as an RPC continuation argument.
+func (p *Process) ReplyRequest(t *sim.Task) (Cap, uint64, error) {
+	tag := p.NewTag()
+	c, err := p.RequestCreate(t, tag, nil, nil)
+	if err != nil {
+		return Cap{}, 0, err
+	}
+	return c, tag, nil
+}
+
+// Call performs a synchronous RPC over a Request (§3.4's A→B→A'
+// pattern): it creates a one-shot reply Request, passes it in
+// replySlot, invokes req, and waits for the continuation to be invoked
+// back. The reply delivery is acknowledged automatically.
+func (p *Process) Call(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg, replySlot uint16) (*Delivery, error) {
+	reply, tag, err := p.ReplyRequest(t)
+	if err != nil {
+		return nil, err
+	}
+	f := p.WaitTag(tag)
+	allArgs := append(append([]Arg(nil), args...), Arg{Slot: replySlot, Cap: reply})
+	if err := p.Invoke(t, req, imms, allArgs); err != nil {
+		delete(p.waiters, tag)
+		return nil, err
+	}
+	d, err := f.Wait(t)
+	if err != nil {
+		return nil, err
+	}
+	d.Done()
+	// The one-shot reply Request is not reused; drop our entry.
+	_ = p.Drop(t, reply)
+	return d, nil
+}
+
+// CallWith invokes req and waits for an invocation with replyTag to
+// come back. The reply Request carrying replyTag must already be among
+// args (or preset in the Request) — latency-critical paths exchange
+// Requests ahead of time, as the paper's micro-benchmarks do, and this
+// entry point lets them reuse one reply Request across calls.
+func (p *Process) CallWith(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg, replyTag uint64) (*Delivery, error) {
+	f := p.WaitTag(replyTag)
+	if err := p.Invoke(t, req, imms, args); err != nil {
+		delete(p.waiters, replyTag)
+		return nil, err
+	}
+	d, err := f.Wait(t)
+	if err != nil {
+		return nil, err
+	}
+	d.Done()
+	return d, nil
+}
+
+// U64Arg encodes a little-endian uint64 immediate argument at offset.
+func U64Arg(off int, v uint64) wire.ImmArg {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return wire.ImmArg{Offset: uint32(off), Data: b[:]}
+}
+
+// BytesArg places raw bytes at an immediate offset.
+func BytesArg(off int, b []byte) wire.ImmArg {
+	return wire.ImmArg{Offset: uint32(off), Data: b}
+}

@@ -1,0 +1,44 @@
+package services
+
+import (
+	"fractos/internal/cap"
+	"fractos/internal/core"
+)
+
+// NodeWatch models the external monitoring service (Zookeeper in §3.6)
+// that detects node and Controller failures. In the simulation it is
+// driven explicitly by failure-injection code; its job is to translate
+// observed failures into the FractOS protocol actions: failing a
+// Controller's Processes and announcing epochs after reboots.
+type NodeWatch struct {
+	cl *core.Cluster
+}
+
+// NewNodeWatch creates the monitor for a cluster.
+func NewNodeWatch(cl *core.Cluster) *NodeWatch {
+	return &NodeWatch{cl: cl}
+}
+
+// NodeFailed reports a whole-node failure: the node's Controller is
+// informed so it fails every Process running there (§3.6: "After a
+// node failure, we inform the corresponding Controller to fail all
+// Processes running in it"). Controllers on other nodes are untouched.
+func (w *NodeWatch) NodeFailed(node int, pids []cap.ProcID) {
+	ctrl := w.cl.CtrlFor(node)
+	for _, pid := range pids {
+		ctrl.FailProcess(pid)
+	}
+}
+
+// ControllerFailed reports a Controller crash: all its Processes are
+// considered failed; on reboot the new epoch is announced and every
+// capability minted under the old epoch becomes stale (§3.6).
+func (w *NodeWatch) ControllerFailed(node int) {
+	w.cl.CtrlFor(node).Crash()
+}
+
+// ControllerRecovered reboots a crashed Controller and broadcasts its
+// new epoch.
+func (w *NodeWatch) ControllerRecovered(node int) {
+	w.cl.CtrlFor(node).Reboot()
+}

@@ -1,0 +1,175 @@
+// Package services provides the deployment-support services of §4:
+// a name registry (the "key/value store to bootstrap capabilities on
+// new Processes") and a node-monitoring service that translates
+// Controller failures into epoch announcements (the paper delegates
+// this to Zookeeper).
+package services
+
+import (
+	"fmt"
+
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// Registry Request tags.
+const (
+	// TagRegister binds a name to a capability.
+	// imm[8:16) = name length, [16:..) = name; caps: SlotCap = the
+	// capability, SlotCont = reply (imm[0:8) = status).
+	TagRegister uint64 = 0x40
+	// TagLookup resolves a name.
+	// imm[8:16) = name length, [16:..) = name; caps: SlotCont = reply
+	// (imm[0:8) = status; caps SlotCap = the capability).
+	TagLookup uint64 = 0x41
+)
+
+// Registry argument slots.
+const (
+	SlotCap  uint16 = 0
+	SlotCont uint16 = 1
+)
+
+// Registry status codes.
+const (
+	StatusOK       uint64 = 0
+	StatusNotFound uint64 = 1
+	StatusExists   uint64 = 2
+	StatusBadArg   uint64 = 3
+)
+
+// Registry is the capability name service. Services register their
+// root Requests under well-known names; applications look them up —
+// capability distribution happens through ordinary Request-argument
+// delegation.
+type Registry struct {
+	P *proc.Process
+
+	names map[string]proc.Cap
+
+	// Register and Lookup are the registry's root Requests; grant them
+	// to new Processes at attach time.
+	Register proc.Cap
+	Lookup   proc.Cap
+}
+
+// NewRegistry attaches the registry Process on a node.
+func NewRegistry(cl *core.Cluster, node int) *Registry {
+	return &Registry{
+		P:     proc.Attach(cl, node, "registry", 0),
+		names: make(map[string]proc.Cap),
+	}
+}
+
+// Start creates the root Requests and spawns the serve loop.
+func (r *Registry) Start(t *sim.Task) error {
+	reg, err := r.P.RequestCreate(t, TagRegister, nil, nil)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	lk, err := r.P.RequestCreate(t, TagLookup, nil, nil)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	r.Register, r.Lookup = reg, lk
+	r.P.Kernel().Spawn("registry", r.serve)
+	return nil
+}
+
+// GrantTo hands a Process the registry's root Requests (the only
+// GrantCap a deployment needs; everything else flows through the
+// registry).
+func (r *Registry) GrantTo(p *proc.Process) (reg, lookup proc.Cap, err error) {
+	reg, err = proc.GrantCap(r.P, r.Register, p)
+	if err != nil {
+		return
+	}
+	lookup, err = proc.GrantCap(r.P, r.Lookup, p)
+	return
+}
+
+func (r *Registry) serve(t *sim.Task) {
+	for {
+		d, ok := r.P.Receive(t)
+		if !ok {
+			return
+		}
+		r.handle(t, d)
+		d.Done()
+	}
+}
+
+func (r *Registry) handle(t *sim.Task, d *proc.Delivery) {
+	cont, haveCont := d.Cap(SlotCont)
+	reply := func(st uint64, args []proc.Arg) {
+		if haveCont {
+			r.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, st)}, args)
+		}
+	}
+	nameLen := int(d.U64(8))
+	if nameLen <= 0 || 16+nameLen > len(d.Imms) {
+		reply(StatusBadArg, nil)
+		return
+	}
+	name := string(d.Imms[16 : 16+nameLen])
+	switch d.Tag {
+	case TagRegister:
+		c, ok := d.Cap(SlotCap)
+		if !ok {
+			reply(StatusBadArg, nil)
+			return
+		}
+		if _, dup := r.names[name]; dup {
+			reply(StatusExists, nil)
+			return
+		}
+		r.names[name] = c
+		reply(StatusOK, nil)
+	case TagLookup:
+		c, ok := r.names[name]
+		if !ok {
+			reply(StatusNotFound, nil)
+			return
+		}
+		reply(StatusOK, []proc.Arg{{Slot: SlotCap, Cap: c}})
+	}
+}
+
+// nameArgs builds the immediate arguments for a name.
+func nameArgs(name string) []wire.ImmArg {
+	return []wire.ImmArg{
+		proc.U64Arg(8, uint64(len(name))),
+		proc.BytesArg(16, []byte(name)),
+	}
+}
+
+// RegisterCap publishes a capability under a name via a Process's
+// registry Request.
+func RegisterCap(t *sim.Task, p *proc.Process, registerReq proc.Cap, name string, c proc.Cap) error {
+	d, err := p.Call(t, registerReq, nameArgs(name), []proc.Arg{{Slot: SlotCap, Cap: c}}, SlotCont)
+	if err != nil {
+		return err
+	}
+	if st := d.U64(0); st != StatusOK {
+		return fmt.Errorf("registry: register %q: status %d", name, st)
+	}
+	return nil
+}
+
+// LookupCap resolves a name via a Process's registry Request.
+func LookupCap(t *sim.Task, p *proc.Process, lookupReq proc.Cap, name string) (proc.Cap, error) {
+	d, err := p.Call(t, lookupReq, nameArgs(name), nil, SlotCont)
+	if err != nil {
+		return proc.Cap{}, err
+	}
+	if st := d.U64(0); st != StatusOK {
+		return proc.Cap{}, fmt.Errorf("registry: lookup %q: status %d", name, st)
+	}
+	c, ok := d.Cap(SlotCap)
+	if !ok {
+		return proc.Cap{}, fmt.Errorf("registry: lookup %q: no capability in reply", name)
+	}
+	return c, nil
+}

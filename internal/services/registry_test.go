@@ -1,0 +1,131 @@
+package services
+
+import (
+	"testing"
+
+	"fractos/internal/cap"
+	"fractos/internal/core"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+)
+
+func runCluster(t *testing.T, fn func(tk *sim.Task, cl *core.Cluster)) {
+	t.Helper()
+	cl := core.NewCluster(core.ClusterConfig{Nodes: 3})
+	done := false
+	cl.K.Spawn("main", func(tk *sim.Task) { fn(tk, cl); done = true })
+	cl.K.Run()
+	cl.K.Shutdown()
+	if !done {
+		t.Fatal("test did not complete (deadlock?)")
+	}
+}
+
+func TestRegisterThenLookup(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		reg := NewRegistry(cl, 0)
+		if err := reg.Start(tk); err != nil {
+			t.Fatal(err)
+		}
+		// A service on node 1 registers its root Request.
+		svc := proc.Attach(cl, 1, "svc", 0)
+		svcReg, _, err := reg.GrantTo(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := svc.RequestCreate(tk, 99, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RegisterCap(tk, svc, svcReg, "svc.root", root); err != nil {
+			t.Fatal(err)
+		}
+
+		// An app on node 2 looks it up and invokes it.
+		app := proc.Attach(cl, 2, "app", 0)
+		_, appLookup, err := reg.GrantTo(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LookupCap(tk, app, appLookup, "svc.root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Invoke(tk, got, nil, nil); err != nil {
+			t.Fatalf("invoke looked-up cap: %v", err)
+		}
+		d, ok := svc.Receive(tk)
+		if !ok || d.Tag != 99 {
+			t.Fatalf("delivery = %+v ok=%v", d, ok)
+		}
+		d.Done()
+	})
+}
+
+func TestLookupMissingName(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		reg := NewRegistry(cl, 0)
+		if err := reg.Start(tk); err != nil {
+			t.Fatal(err)
+		}
+		app := proc.Attach(cl, 1, "app", 0)
+		_, lookup, _ := reg.GrantTo(app)
+		if _, err := LookupCap(tk, app, lookup, "ghost"); err == nil {
+			t.Fatal("lookup of unregistered name succeeded")
+		}
+	})
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		reg := NewRegistry(cl, 0)
+		if err := reg.Start(tk); err != nil {
+			t.Fatal(err)
+		}
+		svc := proc.Attach(cl, 1, "svc", 0)
+		svcReg, _, _ := reg.GrantTo(svc)
+		root, _ := svc.RequestCreate(tk, 1, nil, nil)
+		if err := RegisterCap(tk, svc, svcReg, "dup", root); err != nil {
+			t.Fatal(err)
+		}
+		if err := RegisterCap(tk, svc, svcReg, "dup", root); err == nil {
+			t.Fatal("duplicate registration succeeded")
+		}
+	})
+}
+
+func TestNodeWatchFailsProcesses(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		w := NewNodeWatch(cl)
+		victim := proc.Attach(cl, 1, "victim", 0)
+		peer := proc.Attach(cl, 0, "peer", 0)
+		req, _ := victim.RequestCreate(tk, 5, nil, nil)
+		preq, _ := proc.GrantCap(victim, req, peer)
+
+		w.NodeFailed(1, []cap.ProcID{victim.ID()})
+		tk.Sleep(200 * 1000) // 200µs settle
+		if err := peer.Invoke(tk, preq, nil, nil); err == nil {
+			t.Fatal("invoke on failed node's service succeeded")
+		}
+	})
+}
+
+func TestNodeWatchControllerCrashRecover(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		w := NewNodeWatch(cl)
+		svc := proc.Attach(cl, 1, "svc", 0)
+		peer := proc.Attach(cl, 0, "peer", 0)
+		req, _ := svc.RequestCreate(tk, 5, nil, nil)
+		preq, _ := proc.GrantCap(svc, req, peer)
+
+		w.ControllerFailed(1)
+		w.ControllerRecovered(1)
+		tk.Sleep(200 * 1000)
+		if err := peer.Invoke(tk, preq, nil, nil); err == nil {
+			t.Fatal("stale capability usable after controller recovery")
+		}
+		if cl.CtrlFor(1).Epoch() != 2 {
+			t.Errorf("epoch = %d, want 2", cl.CtrlFor(1).Epoch())
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package sim
+
+// Chan is a typed FIFO channel between tasks, analogous to a Go
+// channel but scheduled under the kernel's virtual clock. A capacity
+// of zero means unbounded (sends never block); a positive capacity
+// bounds the buffer and blocks senders when full.
+//
+// Because the kernel serializes task execution, Chan needs no internal
+// locking; its operations must only be invoked from task context
+// (except the Try* variants, which are also safe from kernel context).
+type Chan[T any] struct {
+	k      *Kernel
+	name   string
+	capa   int // 0 = unbounded
+	buf    []T
+	sendq  []*sendWaiter[T]
+	recvq  []*recvWaiter[T]
+	closed bool
+}
+
+type sendWaiter[T any] struct {
+	t  *Task
+	v  T
+	ok bool // set true when the value has been accepted
+	rm bool // removed from queue (woken)
+}
+
+type recvWaiter[T any] struct {
+	t  *Task
+	v  T
+	ok bool // true if a value was delivered, false if channel closed
+	rm bool
+}
+
+// NewChan creates a channel. capacity 0 means unbounded.
+func NewChan[T any](k *Kernel, name string, capacity int) *Chan[T] {
+	return &Chan[T]{k: k, name: name, capa: capacity}
+}
+
+// Len reports how many values are buffered.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Close closes the channel: pending and future receives drain the
+// buffer and then report ok=false; sends panic.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	// Wake all blocked receivers with ok=false (buffer is necessarily
+	// empty if receivers are blocked).
+	for _, w := range c.recvq {
+		w.rm = true
+		w.ok = false
+		w.t.wakeAfter(0)
+	}
+	c.recvq = nil
+	// Blocked senders on a closed channel is a programming error; wake
+	// them so they can panic in their own context.
+	for _, w := range c.sendq {
+		w.rm = true
+		w.ok = false
+		w.t.wakeAfter(0)
+	}
+	c.sendq = nil
+}
+
+// Send delivers v, blocking while a bounded buffer is full.
+func (c *Chan[T]) Send(t *Task, v T) {
+	if c.closed {
+		panic("sim: send on closed channel " + c.name)
+	}
+	// Fast path: hand directly to a blocked receiver.
+	if w := c.popRecv(); w != nil {
+		w.v = v
+		w.ok = true
+		w.t.wakeAfter(0)
+		return
+	}
+	if c.capa == 0 || len(c.buf) < c.capa {
+		c.buf = append(c.buf, v)
+		return
+	}
+	// Bounded and full: block.
+	sw := &sendWaiter[T]{t: t, v: v}
+	c.sendq = append(c.sendq, sw)
+	t.park()
+	if !sw.ok {
+		panic("sim: send on closed channel " + c.name)
+	}
+}
+
+// TrySend delivers v without blocking. It reports false if a bounded
+// buffer is full or the channel is closed. Safe from kernel context.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		return false
+	}
+	if w := c.popRecv(); w != nil {
+		w.v = v
+		w.ok = true
+		w.t.wakeAfter(0)
+		return true
+	}
+	if c.capa == 0 || len(c.buf) < c.capa {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks until a value is available. ok is false if the channel
+// was closed and drained.
+func (c *Chan[T]) Recv(t *Task) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.takeBuffered()
+		return v, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	rw := &recvWaiter[T]{t: t}
+	c.recvq = append(c.recvq, rw)
+	t.park()
+	return rw.v, rw.ok
+}
+
+// TryRecv receives without blocking; ok is false if nothing was
+// available. Safe from kernel context.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		return c.takeBuffered(), true
+	}
+	var zero T
+	return zero, false
+}
+
+// RecvTimeout is Recv with a virtual-time deadline. ok is false on
+// timeout or close.
+func (c *Chan[T]) RecvTimeout(t *Task, d Time) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		return c.takeBuffered(), true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	rw := &recvWaiter[T]{t: t}
+	c.recvq = append(c.recvq, rw)
+	fired := false
+	c.k.After(d, func() {
+		if rw.rm {
+			return // already satisfied
+		}
+		fired = true
+		rw.rm = true
+		c.removeRecv(rw)
+		t.wakeAfter(0)
+	})
+	t.park()
+	if fired {
+		var zero T
+		return zero, false
+	}
+	return rw.v, rw.ok
+}
+
+func (c *Chan[T]) takeBuffered() T {
+	v := c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	// A freed slot may admit a blocked sender.
+	if len(c.sendq) > 0 && (c.capa == 0 || len(c.buf) < c.capa) {
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		sw.rm = true
+		sw.ok = true
+		c.buf = append(c.buf, sw.v)
+		sw.t.wakeAfter(0)
+	}
+	return v
+}
+
+func (c *Chan[T]) popRecv() *recvWaiter[T] {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if w.rm {
+			continue
+		}
+		w.rm = true
+		return w
+	}
+	return nil
+}
+
+func (c *Chan[T]) removeRecv(rw *recvWaiter[T]) {
+	for i, w := range c.recvq {
+		if w == rw {
+			c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
+			return
+		}
+	}
+}

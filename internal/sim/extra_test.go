@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopHaltsRun(t *testing.T) {
+	k := New(1)
+	ticks := 0
+	k.Spawn("ticker", func(tk *Task) {
+		for i := 0; i < 100; i++ {
+			tk.Sleep(time.Microsecond)
+			ticks++
+			if ticks == 5 {
+				k.Stop()
+			}
+		}
+	})
+	k.Run()
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5 (Stop must halt the loop)", ticks)
+	}
+	k.Shutdown()
+}
+
+func TestKernelRandDeterministic(t *testing.T) {
+	seq := func(seed int64) []int {
+		k := New(seed)
+		var out []int
+		for i := 0; i < 8; i++ {
+			out = append(out, k.Rand().Intn(1000))
+		}
+		k.Shutdown()
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Rand not deterministic for equal seeds")
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestTrySendTryRecvBounded(t *testing.T) {
+	k := New(1)
+	ch := NewChan[int](k, "c", 2)
+	if !ch.TrySend(1) || !ch.TrySend(2) {
+		t.Fatal("sends under capacity failed")
+	}
+	if ch.TrySend(3) {
+		t.Fatal("send over capacity succeeded")
+	}
+	if v, ok := ch.TryRecv(); !ok || v != 1 {
+		t.Fatalf("TryRecv = %d, %v", v, ok)
+	}
+	if !ch.TrySend(3) {
+		t.Fatal("send after drain failed")
+	}
+	ch.Close()
+	if ch.TrySend(4) {
+		t.Fatal("send on closed channel succeeded")
+	}
+	k.Shutdown()
+}
+
+func TestTryRecvEmpty(t *testing.T) {
+	k := New(1)
+	ch := NewChan[string](k, "c", 0)
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel returned a value")
+	}
+	k.Shutdown()
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := New(1)
+	var c Cond
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(tk *Task) {
+			c.Wait(tk)
+			woke++
+		})
+	}
+	k.Spawn("caster", func(tk *Task) {
+		tk.Sleep(time.Microsecond)
+		c.Broadcast()
+	})
+	k.Run()
+	if woke != 3 {
+		t.Errorf("woke = %d, want 3", woke)
+	}
+	k.Shutdown()
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded")
+	}
+	s.Release()
+	if s.Available() != 1 {
+		t.Errorf("Available = %d", s.Available())
+	}
+}
+
+func TestYieldInterleavesFairly(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("y", func(tk *Task) {
+			for j := 0; j < 3; j++ {
+				order = append(order, i)
+				tk.Yield()
+			}
+		})
+	}
+	k.Run()
+	// Perfect interleave: 0 1 0 1 0 1.
+	for idx, v := range order {
+		if v != idx%2 {
+			t.Fatalf("order = %v; Yield must round-robin same-instant tasks", order)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestWaitGroupImmediateWait(t *testing.T) {
+	k := New(1)
+	var wg WaitGroup
+	done := false
+	k.Spawn("w", func(tk *Task) {
+		wg.Wait(tk) // counter already zero: must not block
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("Wait on zero counter blocked")
+	}
+	k.Shutdown()
+}
+
+func TestFutureSetBeforeWait(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	f.Set(9)
+	var got int
+	k.Spawn("w", func(tk *Task) { got, _ = f.Wait(tk) })
+	k.Run()
+	if got != 9 {
+		t.Errorf("got %d", got)
+	}
+	k.Shutdown()
+}
+
+func TestDoubleResolvePanics(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	f.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Set did not panic")
+		}
+		k.Shutdown()
+	}()
+	f.Set(2)
+}
+
+func TestFutureWaitTimeout(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	var err error
+	var at Time
+	k.Spawn("w", func(tk *Task) {
+		_, err = f.WaitTimeout(tk, 50*time.Microsecond)
+		at = tk.Now()
+		// The future is still usable afterwards.
+		v, err2 := f.Wait(tk)
+		if err2 != nil || v != 7 {
+			t.Errorf("post-timeout wait: %d %v", v, err2)
+		}
+	})
+	k.Spawn("late", func(tk *Task) {
+		tk.Sleep(100 * time.Microsecond)
+		f.Set(7)
+	})
+	k.Run()
+	if err != ErrTimeout || at != 50*time.Microsecond {
+		t.Errorf("err=%v at=%v", err, at)
+	}
+	k.Shutdown()
+}
+
+func TestFutureWaitTimeoutResolvedInTime(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	var got int
+	var err error
+	k.Spawn("w", func(tk *Task) {
+		got, err = f.WaitTimeout(tk, 100*time.Microsecond)
+		// Sleep past the timer: its late firing must not disturb this
+		// or any later park.
+		tk.Sleep(time.Millisecond)
+	})
+	k.Spawn("set", func(tk *Task) {
+		tk.Sleep(10 * time.Microsecond)
+		f.Set(3)
+	})
+	k.Run()
+	if err != nil || got != 3 {
+		t.Errorf("got=%d err=%v", got, err)
+	}
+	k.Shutdown()
+}
+
+func TestFutureWaitTimeoutAlreadyDone(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	f.Set(5)
+	var got int
+	k.Spawn("w", func(tk *Task) { got, _ = f.WaitTimeout(tk, time.Microsecond) })
+	k.Run()
+	if got != 5 {
+		t.Errorf("got %d", got)
+	}
+	k.Shutdown()
+}
+
+// TestFutureTimeoutRaceWithResolve: resolution and timeout at the very
+// same virtual instant must not double-wake the task.
+func TestFutureTimeoutRaceWithResolve(t *testing.T) {
+	k := New(1)
+	f := NewFuture[int](k)
+	ch := NewChan[int](k, "after", 0)
+	k.Spawn("w", func(tk *Task) {
+		v, err := f.WaitTimeout(tk, 50*time.Microsecond)
+		if err == nil && v != 9 {
+			t.Errorf("v=%d", v)
+		}
+		// Immediately park on something else; a stray wake would
+		// resume this early with ok=false... (Recv on empty+closed).
+		got, ok := ch.RecvTimeout(tk, 200*time.Microsecond)
+		if !ok || got != 1 {
+			t.Errorf("follow-up park disturbed: got=%d ok=%v", got, ok)
+		}
+	})
+	k.Spawn("set", func(tk *Task) {
+		tk.Sleep(50 * time.Microsecond) // same instant as the timeout
+		f.Set(9)
+		tk.Sleep(100 * time.Microsecond)
+		ch.Send(tk, 1)
+	})
+	k.Run()
+	k.Shutdown()
+}

@@ -1,0 +1,190 @@
+package sim
+
+// Future is a single-assignment value that tasks can wait on. FractOS
+// syscalls are fully asynchronous (posted to a message channel); the
+// Process library wraps them in Futures to offer synchronous-looking
+// APIs, mirroring the promise/future library the paper's C++ prototype
+// built for the same purpose.
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	val     T
+	err     error
+	waiters []*Task
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Set resolves the future with a value, waking all waiters. Resolving
+// twice panics: a future is a single-assignment cell.
+func (f *Future[T]) Set(v T) { f.resolve(v, nil) }
+
+// Fail resolves the future with an error.
+func (f *Future[T]) Fail(err error) {
+	var zero T
+	f.resolve(zero, err)
+}
+
+func (f *Future[T]) resolve(v T, err error) {
+	if f.done {
+		panic("sim: future resolved twice")
+	}
+	f.done = true
+	f.val = v
+	f.err = err
+	for _, t := range f.waiters {
+		t.wakeAfter(0)
+	}
+	f.waiters = nil
+}
+
+// Wait blocks the task until the future resolves, then returns its
+// value and error.
+func (f *Future[T]) Wait(t *Task) (T, error) {
+	for !f.done {
+		f.waiters = append(f.waiters, t)
+		t.park()
+	}
+	return f.val, f.err
+}
+
+// ErrTimeout is returned by WaitTimeout when the deadline passes
+// before the future resolves.
+var ErrTimeout = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "sim: wait timed out" }
+
+// WaitTimeout is Wait with a virtual-time deadline. On timeout the
+// future stays unresolved and may be waited on again later.
+func (f *Future[T]) WaitTimeout(t *Task, d Time) (T, error) {
+	if f.done {
+		return f.val, f.err
+	}
+	f.waiters = append(f.waiters, t)
+	f.k.After(d, func() {
+		// Wake the task only if it is still waiting on this future;
+		// if resolve already woke it (and cleared the waiter list),
+		// issuing another wake would spuriously resume an unrelated
+		// later park.
+		for i, w := range f.waiters {
+			if w == t {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				t.wakeAfter(0)
+				return
+			}
+		}
+	})
+	t.park()
+	if f.done {
+		return f.val, f.err
+	}
+	var zero T
+	return zero, ErrTimeout
+}
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but
+// under virtual time.
+type WaitGroup struct {
+	n       int
+	waiters []*Task
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.wakeAll()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait(t *Task) {
+	for wg.n > 0 {
+		wg.waiters = append(wg.waiters, t)
+		t.park()
+	}
+}
+
+func (wg *WaitGroup) wakeAll() {
+	for _, t := range wg.waiters {
+		t.wakeAfter(0)
+	}
+	wg.waiters = nil
+}
+
+// Cond is a condition variable: tasks wait until another task
+// broadcasts. There is no associated lock because task execution is
+// already serialized by the kernel.
+type Cond struct {
+	waiters []*Task
+}
+
+// Wait parks the task until the next Broadcast.
+func (c *Cond) Wait(t *Task) {
+	c.waiters = append(c.waiters, t)
+	t.park()
+}
+
+// Broadcast wakes every waiting task.
+func (c *Cond) Broadcast() {
+	for _, t := range c.waiters {
+		t.wakeAfter(0)
+	}
+	c.waiters = nil
+}
+
+// Semaphore is a counting semaphore under virtual time. FractOS uses
+// one to model per-Process congestion-control windows (the bound on
+// outstanding responses described in §4 of the paper).
+type Semaphore struct {
+	avail   int
+	waiters []*Task
+}
+
+// NewSemaphore creates a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire(t *Task) {
+	for s.avail <= 0 {
+		s.waiters = append(s.waiters, t)
+		t.park()
+	}
+	s.avail--
+}
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail <= 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release() {
+	s.avail++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.wakeAfter(0)
+	}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }

@@ -1,0 +1,283 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel. All FractOS entities (Controllers, Processes, devices, NICs)
+// run as cooperatively scheduled actors ("tasks") under a virtual
+// clock. Exactly one task executes at any moment; control is handed
+// between the kernel and tasks over channels, so task code can be
+// written in a natural blocking style while the simulation stays
+// deterministic and race-free.
+//
+// Two runs of the same program over the same kernel produce identical
+// event orders and identical virtual timestamps.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured in nanoseconds since the start
+// of the simulation. It deliberately mirrors time.Duration so that
+// durations and timestamps compose with ordinary arithmetic.
+type Time = time.Duration
+
+// event is a scheduled occurrence: either waking a parked task or
+// running a closure in kernel context.
+type event struct {
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among events at the same instant
+	task *Task  // non-nil: wake this task
+	fn   func() // non-nil: run in kernel context (must not block)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// killSignal unwinds a task goroutine during Kernel.Shutdown.
+type killSignal struct{}
+
+// Kernel is a discrete-event scheduler. Create one with New, populate
+// it with Spawn, and drive it with Run or RunUntil.
+//
+// A Kernel is not safe for concurrent use from multiple OS threads;
+// all interaction must happen either from the goroutine that calls
+// Run, or from within task functions (which are serialized by the
+// kernel itself).
+type Kernel struct {
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	yield    chan struct{}
+	running  *Task
+	tasks    map[uint64]*Task
+	nextID   uint64
+	rng      *rand.Rand
+	stopped  bool
+	panicMsg string
+
+	// wall-clock pacing (see realtime.go).
+	rtFactor float64
+	rtAnchor time.Time
+	rtBase   Time
+}
+
+// New returns an empty kernel with its virtual clock at zero. The seed
+// feeds the kernel's deterministic random source (Rand).
+func New(seed int64) *Kernel {
+	return &Kernel{
+		queue: eventHeap{},
+		yield: make(chan struct{}),
+		tasks: make(map[uint64]*Task),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only
+// be used from task or kernel context.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Task is the handle a spawned function uses to interact with the
+// kernel: sleeping, reading the clock, and (via Chan and Future)
+// blocking on communication. A Task handle is only valid inside the
+// goroutine it was passed to.
+type Task struct {
+	k      *Kernel
+	id     uint64
+	name   string
+	resume chan struct{}
+	done   bool
+	killed bool
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// ID returns the task's unique id, assigned in spawn order.
+func (t *Task) ID() uint64 { return t.id }
+
+// Kernel returns the kernel this task runs under.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Now returns the current virtual time.
+func (t *Task) Now() Time { return t.k.now }
+
+// Spawn creates a new task executing fn and schedules it to start at
+// the current virtual time. It may be called from kernel context
+// (before Run, or inside an After closure) or from task context.
+func (k *Kernel) Spawn(name string, fn func(t *Task)) *Task {
+	k.nextID++
+	t := &Task{k: k, id: k.nextID, name: name, resume: make(chan struct{})}
+	k.tasks[t.id] = t
+	go func() {
+		<-t.resume
+		defer func() {
+			t.done = true
+			delete(k.tasks, t.id)
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					// Re-panicking here would crash an unrelated
+					// goroutine; surface the panic through the kernel
+					// so Run's caller sees it.
+					k.fail(fmt.Sprintf("task %q panicked: %v", t.name, r))
+				}
+			}
+			k.yield <- struct{}{}
+		}()
+		fn(t)
+	}()
+	k.schedule(&event{at: k.now, task: t})
+	return t
+}
+
+// fail records a task panic; Run re-panics with this message.
+func (k *Kernel) fail(msg string) {
+	if k.panicMsg == "" {
+		k.panicMsg = msg
+	}
+}
+
+func (k *Kernel) schedule(e *event) {
+	k.seq++
+	e.seq = k.seq
+	heap.Push(&k.queue, e)
+}
+
+// After schedules fn to run in kernel context at now+d. fn must not
+// block; to perform blocking work, have fn call Spawn.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(&event{at: k.now + d, fn: fn})
+}
+
+// park blocks the calling task until the kernel wakes it.
+// Must be called from the running task's goroutine.
+func (t *Task) park() {
+	t.k.yield <- struct{}{}
+	<-t.resume
+	if t.killed {
+		panic(killSignal{})
+	}
+}
+
+// wake marks t runnable at now+d.
+func (t *Task) wakeAfter(d Time) {
+	t.k.schedule(&event{at: t.k.now + d, task: t})
+}
+
+// Sleep suspends the task for d of virtual time.
+func (t *Task) Sleep(d Time) {
+	if d <= 0 {
+		// Even a zero-length sleep is a scheduling point: other work
+		// queued at this instant runs first.
+		d = 0
+	}
+	t.wakeAfter(d)
+	t.park()
+}
+
+// Yield gives other runnable tasks at the current instant a chance to
+// run before the calling task continues.
+func (t *Task) Yield() { t.Sleep(0) }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final virtual time. Run must be called from the
+// goroutine that created the kernel.
+func (k *Kernel) Run() Time {
+	return k.run(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	return k.run(deadline)
+}
+
+func (k *Kernel) run(deadline Time) Time {
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if deadline >= 0 && e.at > deadline {
+			k.now = deadline
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		if e.at > k.now {
+			k.pace(e.at)
+			k.now = e.at
+		}
+		switch {
+		case e.task != nil:
+			if e.task.done {
+				continue // stale wake for a finished task
+			}
+			k.running = e.task
+			e.task.resume <- struct{}{}
+			<-k.yield
+			k.running = nil
+			if k.panicMsg != "" {
+				msg := k.panicMsg
+				k.panicMsg = ""
+				panic(msg)
+			}
+		case e.fn != nil:
+			e.fn()
+		}
+	}
+	return k.now
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Live reports how many tasks exist (runnable or blocked).
+func (k *Kernel) Live() int { return len(k.tasks) }
+
+// Shutdown forcibly unwinds every remaining task goroutine. It must be
+// called from kernel context (after Run returns). The kernel must not
+// be used afterwards.
+func (k *Kernel) Shutdown() {
+	// Collect ids first: unwinding mutates k.tasks.
+	ids := make([]uint64, 0, len(k.tasks))
+	for id := range k.tasks {
+		ids = append(ids, id)
+	}
+	// Deterministic order (ids are spawn-ordered).
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		t, ok := k.tasks[id]
+		if !ok || t.done {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-k.yield
+	}
+	k.stopped = true
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "time"
+
+// Real-time pacing: by default the kernel burns through events as fast
+// as the host allows (virtual time is decoupled from wall time). For
+// live demos and soak runs, SetRealtime makes Run pace event
+// processing against the wall clock, so a virtual microsecond takes
+// 1/factor wall microseconds. Determinism is unaffected — only the
+// wall-clock pacing changes; event order and virtual timestamps are
+// identical with pacing on or off.
+
+// SetRealtime enables wall-clock pacing at the given speed-up factor
+// (1.0 = real time, 1000.0 = 1000× faster than real time, 0 disables).
+// Must be called before Run.
+func (k *Kernel) SetRealtime(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	k.rtFactor = factor
+	k.rtAnchor = time.Time{}
+}
+
+// pace sleeps until the wall clock catches up with the virtual
+// timestamp at the configured factor. Called from the Run loop.
+func (k *Kernel) pace(at Time) {
+	if k.rtFactor <= 0 {
+		return
+	}
+	if k.rtAnchor.IsZero() {
+		// Anchor at the current virtual time so the very first
+		// advance already paces.
+		k.rtAnchor = time.Now()
+		k.rtBase = k.now
+	}
+	wantWall := time.Duration(float64(at-k.rtBase) / k.rtFactor)
+	elapsed := time.Since(k.rtAnchor)
+	if wantWall > elapsed {
+		time.Sleep(wantWall - elapsed)
+	}
+}

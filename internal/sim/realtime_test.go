@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRealtimePacingSlowsWallClock: with pacing enabled, 10ms of
+// virtual time takes at least 10ms/factor of wall time.
+func TestRealtimePacingSlowsWallClock(t *testing.T) {
+	k := New(1)
+	k.SetRealtime(10) // 10x faster than real time
+	k.Spawn("sleeper", func(tk *Task) {
+		tk.Sleep(50 * time.Millisecond) // 50ms virtual → ≥5ms wall
+	})
+	start := time.Now()
+	k.Run()
+	wall := time.Since(start)
+	if wall < 4*time.Millisecond {
+		t.Errorf("50ms virtual at 10x took %v wall, want ≥~5ms", wall)
+	}
+	k.Shutdown()
+}
+
+// TestRealtimePacingPreservesVirtualResults: pacing changes wall-clock
+// behaviour only; virtual timestamps are identical.
+func TestRealtimePacingPreservesVirtualResults(t *testing.T) {
+	measure := func(factor float64) Time {
+		k := New(7)
+		if factor > 0 {
+			k.SetRealtime(factor)
+		}
+		var end Time
+		ch := NewChan[int](k, "c", 0)
+		k.Spawn("a", func(tk *Task) {
+			tk.Sleep(2 * time.Millisecond)
+			ch.Send(tk, 1)
+		})
+		k.Spawn("b", func(tk *Task) {
+			ch.Recv(tk)
+			tk.Sleep(3 * time.Millisecond)
+			end = tk.Now()
+		})
+		k.Run()
+		k.Shutdown()
+		return end
+	}
+	fast := measure(0)
+	paced := measure(1000)
+	if fast != paced {
+		t.Errorf("virtual end differs: unpaced %v vs paced %v", fast, paced)
+	}
+}
+
+// TestRealtimeDisabledByDefault: without SetRealtime, a long virtual
+// run completes near-instantly in wall time.
+func TestRealtimeDisabledByDefault(t *testing.T) {
+	k := New(1)
+	k.Spawn("sleeper", func(tk *Task) { tk.Sleep(10 * time.Second) })
+	start := time.Now()
+	k.Run()
+	if wall := time.Since(start); wall > 100*time.Millisecond {
+		t.Errorf("10s virtual took %v wall without pacing", wall)
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,984 @@
+package wire
+
+import "fractos/internal/cap"
+
+// Message type identifiers. Grouped by direction:
+// 1xx Process→Controller (syscalls), 2xx Controller→Process,
+// 3xx Controller↔Controller, 9xx generic/raw.
+const (
+	TMemCreate Type = 100 + iota
+	TMemDiminish
+	TMemCopy
+	TReqCreate
+	TReqInvoke
+	TCapRevtree
+	TCapRevoke
+	TCapDrop
+	TMonitorDelegate
+	TMonitorReceive
+	TDeliverDone
+	TProcBye
+	TNull
+)
+
+const (
+	TCompletion Type = 200 + iota
+	TDeliver
+	TMonitorCB
+)
+
+const (
+	TCtrlDeriveMem Type = 300 + iota
+	TCtrlDeriveReq
+	TCtrlRevtree
+	TCtrlRevoke
+	TCtrlValidate
+	TCtrlValInfo
+	TCtrlInvoke
+	TCtrlAck
+	TCtrlCleanup
+	TCtrlDelegNote
+	TCtrlDelegNoteAck
+	TCtrlWatch
+	TCtrlNotify
+	TCtrlEpoch
+)
+
+// TRaw is a free-form message used by the baseline systems (rCUDA,
+// NFS, NVMe-oF models) that share the fabric but not the FractOS
+// protocol.
+const TRaw Type = 900
+
+func init() {
+	Register(TMemCreate, func() Message { return new(MemCreate) })
+	Register(TMemDiminish, func() Message { return new(MemDiminish) })
+	Register(TMemCopy, func() Message { return new(MemCopy) })
+	Register(TReqCreate, func() Message { return new(ReqCreate) })
+	Register(TReqInvoke, func() Message { return new(ReqInvoke) })
+	Register(TCapRevtree, func() Message { return new(CapRevtree) })
+	Register(TCapRevoke, func() Message { return new(CapRevoke) })
+	Register(TCapDrop, func() Message { return new(CapDrop) })
+	Register(TMonitorDelegate, func() Message { return new(MonitorDelegate) })
+	Register(TMonitorReceive, func() Message { return new(MonitorReceive) })
+	Register(TDeliverDone, func() Message { return new(DeliverDone) })
+	Register(TProcBye, func() Message { return new(ProcBye) })
+	Register(TNull, func() Message { return new(Null) })
+	Register(TCompletion, func() Message { return new(Completion) })
+	Register(TDeliver, func() Message { return new(Deliver) })
+	Register(TMonitorCB, func() Message { return new(MonitorCB) })
+	Register(TCtrlDeriveMem, func() Message { return new(CtrlDeriveMem) })
+	Register(TCtrlDeriveReq, func() Message { return new(CtrlDeriveReq) })
+	Register(TCtrlRevtree, func() Message { return new(CtrlRevtree) })
+	Register(TCtrlRevoke, func() Message { return new(CtrlRevoke) })
+	Register(TCtrlValidate, func() Message { return new(CtrlValidate) })
+	Register(TCtrlValInfo, func() Message { return new(CtrlValInfo) })
+	Register(TCtrlInvoke, func() Message { return new(CtrlInvoke) })
+	Register(TCtrlAck, func() Message { return new(CtrlAck) })
+	Register(TCtrlCleanup, func() Message { return new(CtrlCleanup) })
+	Register(TCtrlDelegNote, func() Message { return new(CtrlDelegNote) })
+	Register(TCtrlDelegNoteAck, func() Message { return new(CtrlDelegNoteAck) })
+	Register(TCtrlWatch, func() Message { return new(CtrlWatch) })
+	Register(TCtrlNotify, func() Message { return new(CtrlNotify) })
+	Register(TCtrlEpoch, func() Message { return new(CtrlEpoch) })
+	Register(TRaw, func() Message { return new(Raw) })
+}
+
+// ---- shared argument encodings ----
+
+// ImmArg writes Data into a Request's immediate-argument buffer at
+// Offset. Once written, those bytes are immutable (§3.4).
+type ImmArg struct {
+	Offset uint32
+	Data   []byte
+}
+
+func encodeImms(w *Writer, imms []ImmArg) {
+	w.U16(uint16(len(imms)))
+	for _, a := range imms {
+		w.U32(a.Offset)
+		w.Bytes32(a.Data)
+	}
+}
+
+func decodeImms(r *Reader) []ImmArg {
+	n := int(r.U16())
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	imms := make([]ImmArg, 0, n)
+	for i := 0; i < n; i++ {
+		imms = append(imms, ImmArg{Offset: r.U32(), Data: r.Bytes32()})
+	}
+	return imms
+}
+
+// immsBytes reports the payload volume carried by immediate args,
+// used to classify messages as data-bearing.
+func immsBytes(imms []ImmArg) int {
+	n := 0
+	for _, a := range imms {
+		n += len(a.Data)
+	}
+	return n
+}
+
+// dataThreshold is the immediate-payload size above which a message
+// counts as a Data transfer for traffic accounting.
+const dataThreshold = 256
+
+// CapSlot binds a Process-local capability (cid) to a Request argument
+// slot in a syscall.
+type CapSlot struct {
+	Slot uint16
+	Cid  cap.CapID
+}
+
+func encodeCapSlots(w *Writer, cs []CapSlot) {
+	w.U16(uint16(len(cs)))
+	for _, c := range cs {
+		w.U16(c.Slot)
+		w.U32(uint32(c.Cid))
+	}
+}
+
+func decodeCapSlots(r *Reader) []CapSlot {
+	n := int(r.U16())
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	cs := make([]CapSlot, 0, n)
+	for i := 0; i < n; i++ {
+		cs = append(cs, CapSlot{Slot: r.U16(), Cid: cap.CapID(r.U32())})
+	}
+	return cs
+}
+
+// CapXfer is a capability in transit between Controllers: the global
+// reference plus the rights and metadata the receiver should install.
+type CapXfer struct {
+	Slot      uint16
+	Ref       cap.Ref
+	Kind      cap.Kind
+	Rights    cap.Rights
+	Size      uint64
+	Monitored bool
+	// Leased marks a monitor_delegatee child created for the receiver;
+	// the receiving Controller revokes it if the receiver fails.
+	Leased bool
+}
+
+func encodeRef(w *Writer, r cap.Ref) {
+	w.U32(uint32(r.Ctrl))
+	w.U64(uint64(r.Obj))
+	w.U32(uint32(r.Epoch))
+}
+
+func decodeRef(r *Reader) cap.Ref {
+	return cap.Ref{
+		Ctrl:  cap.ControllerID(r.U32()),
+		Obj:   cap.ObjectID(r.U64()),
+		Epoch: cap.Epoch(r.U32()),
+	}
+}
+
+func encodeCapXfers(w *Writer, xs []CapXfer) {
+	w.U16(uint16(len(xs)))
+	for _, x := range xs {
+		w.U16(x.Slot)
+		encodeRef(w, x.Ref)
+		w.U8(uint8(x.Kind))
+		w.U8(uint8(x.Rights))
+		w.U64(x.Size)
+		w.Bool(x.Monitored)
+		w.Bool(x.Leased)
+	}
+}
+
+func decodeCapXfers(r *Reader) []CapXfer {
+	n := int(r.U16())
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	xs := make([]CapXfer, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, CapXfer{
+			Slot:      r.U16(),
+			Ref:       decodeRef(r),
+			Kind:      cap.Kind(r.U8()),
+			Rights:    cap.Rights(r.U8()),
+			Size:      r.U64(),
+			Monitored: r.Bool(),
+			Leased:    r.Bool(),
+		})
+	}
+	return xs
+}
+
+// DeliveredCap is a capability as it appears in a request_receive
+// descriptor: already installed in the receiver's capability space.
+type DeliveredCap struct {
+	Slot   uint16
+	Cid    cap.CapID
+	Kind   cap.Kind
+	Rights cap.Rights
+	Size   uint64
+}
+
+func encodeDelivered(w *Writer, ds []DeliveredCap) {
+	w.U16(uint16(len(ds)))
+	for _, d := range ds {
+		w.U16(d.Slot)
+		w.U32(uint32(d.Cid))
+		w.U8(uint8(d.Kind))
+		w.U8(uint8(d.Rights))
+		w.U64(d.Size)
+	}
+}
+
+func decodeDelivered(r *Reader) []DeliveredCap {
+	n := int(r.U16())
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	ds := make([]DeliveredCap, 0, n)
+	for i := 0; i < n; i++ {
+		ds = append(ds, DeliveredCap{
+			Slot:   r.U16(),
+			Cid:    cap.CapID(r.U32()),
+			Kind:   cap.Kind(r.U8()),
+			Rights: cap.Rights(r.U8()),
+			Size:   r.U64(),
+		})
+	}
+	return ds
+}
+
+// ---- Process → Controller (syscalls, Table 1) ----
+
+// MemCreate registers [Base, Base+Size) of the calling Process's
+// arena as a Memory object (memory_create).
+type MemCreate struct {
+	Token uint64
+	Base  uint64
+	Size  uint64
+	Perms cap.Rights
+}
+
+func (*MemCreate) WireType() Type { return TMemCreate }
+func (*MemCreate) Class() Class   { return Control }
+func (m *MemCreate) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U64(m.Base)
+	w.U64(m.Size)
+	w.U8(uint8(m.Perms))
+}
+func (m *MemCreate) Decode(r *Reader) error {
+	m.Token, m.Base, m.Size, m.Perms = r.U64(), r.U64(), r.U64(), cap.Rights(r.U8())
+	return r.Err()
+}
+
+// MemDiminish derives a smaller/weaker view of a Memory capability
+// (memory_diminish).
+type MemDiminish struct {
+	Token  uint64
+	Cid    cap.CapID
+	Offset uint64
+	Size   uint64
+	Drop   cap.Rights
+}
+
+func (*MemDiminish) WireType() Type { return TMemDiminish }
+func (*MemDiminish) Class() Class   { return Control }
+func (m *MemDiminish) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+	w.U64(m.Offset)
+	w.U64(m.Size)
+	w.U8(uint8(m.Drop))
+}
+func (m *MemDiminish) Decode(r *Reader) error {
+	m.Token, m.Cid = r.U64(), cap.CapID(r.U32())
+	m.Offset, m.Size, m.Drop = r.U64(), r.U64(), cap.Rights(r.U8())
+	return r.Err()
+}
+
+// MemCopy copies all bytes of Memory SrcCid into DstCid (memory_copy).
+type MemCopy struct {
+	Token  uint64
+	SrcCid cap.CapID
+	DstCid cap.CapID
+}
+
+func (*MemCopy) WireType() Type { return TMemCopy }
+func (*MemCopy) Class() Class   { return Control }
+func (m *MemCopy) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.SrcCid))
+	w.U32(uint32(m.DstCid))
+}
+func (m *MemCopy) Decode(r *Reader) error {
+	m.Token, m.SrcCid, m.DstCid = r.U64(), cap.CapID(r.U32()), cap.CapID(r.U32())
+	return r.Err()
+}
+
+// ReqCreate creates a new Request (Parent == NilCap) provided by the
+// caller, or derives/refines an existing one (request_create). Tag is
+// delivered back to the provider on every invocation of the request
+// (and its derivations) so services can dispatch; it is only
+// meaningful for new Requests.
+type ReqCreate struct {
+	Token  uint64
+	Parent cap.CapID
+	Tag    uint64
+	Imms   []ImmArg
+	Caps   []CapSlot
+}
+
+func (*ReqCreate) WireType() Type { return TReqCreate }
+func (m *ReqCreate) Class() Class {
+	if immsBytes(m.Imms) > dataThreshold {
+		return Data
+	}
+	return Control
+}
+func (m *ReqCreate) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Parent))
+	w.U64(m.Tag)
+	encodeImms(w, m.Imms)
+	encodeCapSlots(w, m.Caps)
+}
+func (m *ReqCreate) Decode(r *Reader) error {
+	m.Token, m.Parent, m.Tag = r.U64(), cap.CapID(r.U32()), r.U64()
+	m.Imms = decodeImms(r)
+	m.Caps = decodeCapSlots(r)
+	return r.Err()
+}
+
+// ReqInvoke invokes a Request (request_invoke). Imms/Caps are
+// invoke-time refinements applied on top of the Request's preset
+// arguments without mutating the Request object itself.
+type ReqInvoke struct {
+	Token uint64
+	Cid   cap.CapID
+	Imms  []ImmArg
+	Caps  []CapSlot
+}
+
+func (*ReqInvoke) WireType() Type { return TReqInvoke }
+func (m *ReqInvoke) Class() Class {
+	if immsBytes(m.Imms) > dataThreshold {
+		return Data
+	}
+	return Control
+}
+func (m *ReqInvoke) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+	encodeImms(w, m.Imms)
+	encodeCapSlots(w, m.Caps)
+}
+func (m *ReqInvoke) Decode(r *Reader) error {
+	m.Token, m.Cid = r.U64(), cap.CapID(r.U32())
+	m.Imms = decodeImms(r)
+	m.Caps = decodeCapSlots(r)
+	return r.Err()
+}
+
+// CapRevtree creates a new revocation subtree entry for a capability
+// (cap_create_revtree): a separately revocable child object.
+type CapRevtree struct {
+	Token uint64
+	Cid   cap.CapID
+}
+
+func (*CapRevtree) WireType() Type { return TCapRevtree }
+func (*CapRevtree) Class() Class   { return Control }
+func (m *CapRevtree) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+}
+func (m *CapRevtree) Decode(r *Reader) error {
+	m.Token, m.Cid = r.U64(), cap.CapID(r.U32())
+	return r.Err()
+}
+
+// CapRevoke revokes a capability: the referenced object and all its
+// revocation-tree descendants are invalidated at the owner
+// (cap_revoke).
+type CapRevoke struct {
+	Token uint64
+	Cid   cap.CapID
+}
+
+func (*CapRevoke) WireType() Type { return TCapRevoke }
+func (*CapRevoke) Class() Class   { return Control }
+func (m *CapRevoke) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+}
+func (m *CapRevoke) Decode(r *Reader) error {
+	m.Token, m.Cid = r.U64(), cap.CapID(r.U32())
+	return r.Err()
+}
+
+// CapDrop discards the calling Process's capability-space entry
+// without revoking the object.
+type CapDrop struct {
+	Token uint64
+	Cid   cap.CapID
+}
+
+func (*CapDrop) WireType() Type { return TCapDrop }
+func (*CapDrop) Class() Class   { return Control }
+func (m *CapDrop) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+}
+func (m *CapDrop) Decode(r *Reader) error {
+	m.Token, m.Cid = r.U64(), cap.CapID(r.U32())
+	return r.Err()
+}
+
+// MonitorDelegate registers a callback that fires when all immediate
+// children delegated from Cid have been invalidated (§3.6).
+type MonitorDelegate struct {
+	Token    uint64
+	Cid      cap.CapID
+	Callback uint64
+}
+
+func (*MonitorDelegate) WireType() Type { return TMonitorDelegate }
+func (*MonitorDelegate) Class() Class   { return Control }
+func (m *MonitorDelegate) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+	w.U64(m.Callback)
+}
+func (m *MonitorDelegate) Decode(r *Reader) error {
+	m.Token, m.Cid, m.Callback = r.U64(), cap.CapID(r.U32()), r.U64()
+	return r.Err()
+}
+
+// MonitorReceive registers a callback that fires when Cid's object is
+// invalidated — by explicit revocation or by failure (§3.6).
+type MonitorReceive struct {
+	Token    uint64
+	Cid      cap.CapID
+	Callback uint64
+}
+
+func (*MonitorReceive) WireType() Type { return TMonitorReceive }
+func (*MonitorReceive) Class() Class   { return Control }
+func (m *MonitorReceive) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Cid))
+	w.U64(m.Callback)
+}
+func (m *MonitorReceive) Decode(r *Reader) error {
+	m.Token, m.Cid, m.Callback = r.U64(), cap.CapID(r.U32()), r.U64()
+	return r.Err()
+}
+
+// DeliverDone acknowledges processing of a delivery, releasing one
+// slot of the provider's congestion-control window (§4).
+type DeliverDone struct {
+	Seq uint64
+}
+
+func (*DeliverDone) WireType() Type     { return TDeliverDone }
+func (*DeliverDone) Class() Class       { return Control }
+func (m *DeliverDone) Encode(w *Writer) { w.U64(m.Seq) }
+func (m *DeliverDone) Decode(r *Reader) error {
+	m.Seq = r.U64()
+	return r.Err()
+}
+
+// Null is the no-op syscall used to measure the bare cost of one
+// FractOS operation (Table 3).
+type Null struct {
+	Token uint64
+}
+
+func (*Null) WireType() Type     { return TNull }
+func (*Null) Class() Class       { return Control }
+func (m *Null) Encode(w *Writer) { w.U64(m.Token) }
+func (m *Null) Decode(r *Reader) error {
+	m.Token = r.U64()
+	return r.Err()
+}
+
+// ProcBye announces a graceful Process exit.
+type ProcBye struct{}
+
+func (*ProcBye) WireType() Type       { return TProcBye }
+func (*ProcBye) Class() Class         { return Control }
+func (*ProcBye) Encode(*Writer)       {}
+func (*ProcBye) Decode(*Reader) error { return nil }
+
+// ---- Controller → Process ----
+
+// Completion resolves an asynchronous syscall. Cid carries the newly
+// created capability for create/derive calls; Aux is call-specific
+// (e.g. bytes copied).
+type Completion struct {
+	Token  uint64
+	Status Status
+	Cid    cap.CapID
+	Aux    uint64
+}
+
+func (*Completion) WireType() Type { return TCompletion }
+func (*Completion) Class() Class   { return Control }
+func (m *Completion) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U8(uint8(m.Status))
+	w.U32(uint32(m.Cid))
+	w.U64(m.Aux)
+}
+func (m *Completion) Decode(r *Reader) error {
+	m.Token, m.Status = r.U64(), Status(r.U8())
+	m.Cid, m.Aux = cap.CapID(r.U32()), r.U64()
+	return r.Err()
+}
+
+// Deliver is a request_receive descriptor: an invocation arriving at a
+// provider Process. Imms is the merged immediate-argument buffer; Caps
+// are the delegated capability arguments, already installed in the
+// provider's capability space.
+type Deliver struct {
+	Seq  uint64
+	Tag  uint64
+	Imms []byte
+	Caps []DeliveredCap
+}
+
+func (*Deliver) WireType() Type { return TDeliver }
+func (m *Deliver) Class() Class {
+	if len(m.Imms) > dataThreshold {
+		return Data
+	}
+	return Control
+}
+func (m *Deliver) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.U64(m.Tag)
+	w.Bytes32(m.Imms)
+	encodeDelivered(w, m.Caps)
+}
+func (m *Deliver) Decode(r *Reader) error {
+	m.Seq, m.Tag = r.U64(), r.U64()
+	m.Imms = r.Bytes32()
+	m.Caps = decodeDelivered(r)
+	return r.Err()
+}
+
+// MonitorCB delivers a monitor callback to the Process that registered
+// it. Kind 0 = delegate (children gone), 1 = receive (object revoked).
+type MonitorCB struct {
+	Callback uint64
+	Kind     uint8
+}
+
+// Monitor callback kinds.
+const (
+	MonitorCBDelegate uint8 = 0
+	MonitorCBReceive  uint8 = 1
+)
+
+func (*MonitorCB) WireType() Type { return TMonitorCB }
+func (*MonitorCB) Class() Class   { return Control }
+func (m *MonitorCB) Encode(w *Writer) {
+	w.U64(m.Callback)
+	w.U8(m.Kind)
+}
+func (m *MonitorCB) Decode(r *Reader) error {
+	m.Callback, m.Kind = r.U64(), r.U8()
+	return r.Err()
+}
+
+// ---- Controller ↔ Controller ----
+
+// CtrlDeriveMem asks the owner to derive a diminished Memory object.
+type CtrlDeriveMem struct {
+	Token  uint64
+	Src    cap.ControllerID
+	From   cap.Ref
+	Offset uint64
+	Size   uint64
+	Drop   cap.Rights
+}
+
+func (*CtrlDeriveMem) WireType() Type { return TCtrlDeriveMem }
+func (*CtrlDeriveMem) Class() Class   { return Control }
+func (m *CtrlDeriveMem) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.From)
+	w.U64(m.Offset)
+	w.U64(m.Size)
+	w.U8(uint8(m.Drop))
+}
+func (m *CtrlDeriveMem) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.From = decodeRef(r)
+	m.Offset, m.Size, m.Drop = r.U64(), r.U64(), cap.Rights(r.U8())
+	return r.Err()
+}
+
+// CtrlDeriveReq asks the owner to derive a refined Request object.
+type CtrlDeriveReq struct {
+	Token uint64
+	Src   cap.ControllerID
+	From  cap.Ref
+	Imms  []ImmArg
+	Caps  []CapXfer
+}
+
+func (*CtrlDeriveReq) WireType() Type { return TCtrlDeriveReq }
+func (m *CtrlDeriveReq) Class() Class {
+	if immsBytes(m.Imms) > dataThreshold {
+		return Data
+	}
+	return Control
+}
+func (m *CtrlDeriveReq) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.From)
+	encodeImms(w, m.Imms)
+	encodeCapXfers(w, m.Caps)
+}
+func (m *CtrlDeriveReq) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.From = decodeRef(r)
+	m.Imms = decodeImms(r)
+	m.Caps = decodeCapXfers(r)
+	return r.Err()
+}
+
+// CtrlRevtree asks the owner to create a revocation-subtree child.
+type CtrlRevtree struct {
+	Token uint64
+	Src   cap.ControllerID
+	From  cap.Ref
+}
+
+func (*CtrlRevtree) WireType() Type { return TCtrlRevtree }
+func (*CtrlRevtree) Class() Class   { return Control }
+func (m *CtrlRevtree) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.From)
+}
+func (m *CtrlRevtree) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.From = decodeRef(r)
+	return r.Err()
+}
+
+// CtrlRevoke asks the owner to invalidate an object (and subtree).
+type CtrlRevoke struct {
+	Token uint64
+	Src   cap.ControllerID
+	From  cap.Ref
+}
+
+func (*CtrlRevoke) WireType() Type { return TCtrlRevoke }
+func (*CtrlRevoke) Class() Class   { return Control }
+func (m *CtrlRevoke) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.From)
+}
+func (m *CtrlRevoke) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.From = decodeRef(r)
+	return r.Err()
+}
+
+// CtrlValidate asks the owner whether Ref is live and conveys Need;
+// for Memory objects the answer locates the backing buffer for RDMA.
+type CtrlValidate struct {
+	Token uint64
+	Src   cap.ControllerID
+	Ref   cap.Ref
+	Need  cap.Rights
+}
+
+func (*CtrlValidate) WireType() Type { return TCtrlValidate }
+func (*CtrlValidate) Class() Class   { return Control }
+func (m *CtrlValidate) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.Ref)
+	w.U8(uint8(m.Need))
+}
+func (m *CtrlValidate) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.Ref = decodeRef(r)
+	m.Need = cap.Rights(r.U8())
+	return r.Err()
+}
+
+// CtrlValInfo answers a CtrlValidate: where the Memory object's bytes
+// live (fabric endpoint + offset) and its authoritative extent/rights.
+type CtrlValInfo struct {
+	Token    uint64
+	Status   Status
+	Endpoint uint32 // fabric endpoint owning the arena
+	Base     uint64 // offset within that arena
+	Size     uint64
+	Rights   cap.Rights
+}
+
+func (*CtrlValInfo) WireType() Type { return TCtrlValInfo }
+func (*CtrlValInfo) Class() Class   { return Control }
+func (m *CtrlValInfo) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U8(uint8(m.Status))
+	w.U32(m.Endpoint)
+	w.U64(m.Base)
+	w.U64(m.Size)
+	w.U8(uint8(m.Rights))
+}
+func (m *CtrlValInfo) Decode(r *Reader) error {
+	m.Token, m.Status = r.U64(), Status(r.U8())
+	m.Endpoint, m.Base, m.Size = r.U32(), r.U64(), r.U64()
+	m.Rights = cap.Rights(r.U8())
+	return r.Err()
+}
+
+// CtrlInvoke carries a request invocation to the owner of the Request
+// object, with invoke-time refinements and delegated capabilities.
+type CtrlInvoke struct {
+	Token uint64
+	Src   cap.ControllerID
+	Ref   cap.Ref
+	Imms  []ImmArg
+	Caps  []CapXfer
+}
+
+func (*CtrlInvoke) WireType() Type { return TCtrlInvoke }
+func (m *CtrlInvoke) Class() Class {
+	if immsBytes(m.Imms) > dataThreshold {
+		return Data
+	}
+	return Control
+}
+func (m *CtrlInvoke) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.Ref)
+	encodeImms(w, m.Imms)
+	encodeCapXfers(w, m.Caps)
+}
+func (m *CtrlInvoke) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.Ref = decodeRef(r)
+	m.Imms = decodeImms(r)
+	m.Caps = decodeCapXfers(r)
+	return r.Err()
+}
+
+// CtrlAck answers derive/revtree/revoke/invoke requests. Obj/Epoch
+// name a newly created object where applicable; Size/Rights echo its
+// metadata so the requesting Controller can install a cap entry.
+type CtrlAck struct {
+	Token  uint64
+	Status Status
+	Obj    cap.ObjectID
+	Epoch  cap.Epoch
+	Size   uint64
+	Rights cap.Rights
+}
+
+func (*CtrlAck) WireType() Type { return TCtrlAck }
+func (*CtrlAck) Class() Class   { return Control }
+func (m *CtrlAck) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U8(uint8(m.Status))
+	w.U64(uint64(m.Obj))
+	w.U32(uint32(m.Epoch))
+	w.U64(m.Size)
+	w.U8(uint8(m.Rights))
+}
+func (m *CtrlAck) Decode(r *Reader) error {
+	m.Token, m.Status = r.U64(), Status(r.U8())
+	m.Obj, m.Epoch = cap.ObjectID(r.U64()), cap.Epoch(r.U32())
+	m.Size, m.Rights = r.U64(), cap.Rights(r.U8())
+	return r.Err()
+}
+
+// CtrlCleanup is the asynchronous revocation-cleanup broadcast: every
+// Controller purges capability-space entries referencing the revoked
+// objects and acknowledges (§3.5; off the critical path — the owner
+// keeps only small revoked stubs until every peer has confirmed no
+// capabilities reference them).
+type CtrlCleanup struct {
+	Token uint64
+	Refs  []cap.Ref
+}
+
+func (*CtrlCleanup) WireType() Type { return TCtrlCleanup }
+func (*CtrlCleanup) Class() Class   { return Control }
+func (m *CtrlCleanup) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U16(uint16(len(m.Refs)))
+	for _, ref := range m.Refs {
+		encodeRef(w, ref)
+	}
+}
+func (m *CtrlCleanup) Decode(r *Reader) error {
+	m.Token = r.U64()
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		m.Refs = append(m.Refs, decodeRef(r))
+	}
+	return r.Err()
+}
+
+// CtrlDelegNote tells the owner that a monitored capability was
+// delegated to Holder; the owner creates a monitor_delegatee child.
+type CtrlDelegNote struct {
+	Token  uint64
+	Src    cap.ControllerID
+	Ref    cap.Ref
+	Holder cap.ProcID
+}
+
+func (*CtrlDelegNote) WireType() Type { return TCtrlDelegNote }
+func (*CtrlDelegNote) Class() Class   { return Control }
+func (m *CtrlDelegNote) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.Ref)
+	w.U64(uint64(m.Holder))
+}
+func (m *CtrlDelegNote) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.Ref = decodeRef(r)
+	m.Holder = cap.ProcID(r.U64())
+	return r.Err()
+}
+
+// CtrlDelegNoteAck returns the delegatee child object the holder's
+// entry should reference.
+type CtrlDelegNoteAck struct {
+	Token  uint64
+	Status Status
+	Child  cap.Ref
+}
+
+func (*CtrlDelegNoteAck) WireType() Type { return TCtrlDelegNoteAck }
+func (*CtrlDelegNoteAck) Class() Class   { return Control }
+func (m *CtrlDelegNoteAck) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U8(uint8(m.Status))
+	encodeRef(w, m.Child)
+}
+func (m *CtrlDelegNoteAck) Decode(r *Reader) error {
+	m.Token, m.Status = r.U64(), Status(r.U8())
+	m.Child = decodeRef(r)
+	return r.Err()
+}
+
+// CtrlWatch registers a monitor_receive watcher at the owner.
+type CtrlWatch struct {
+	Token       uint64
+	Src         cap.ControllerID
+	Ref         cap.Ref
+	WatcherProc cap.ProcID
+	WatcherCtrl cap.ControllerID
+	Callback    uint64
+}
+
+func (*CtrlWatch) WireType() Type { return TCtrlWatch }
+func (*CtrlWatch) Class() Class   { return Control }
+func (m *CtrlWatch) Encode(w *Writer) {
+	w.U64(m.Token)
+	w.U32(uint32(m.Src))
+	encodeRef(w, m.Ref)
+	w.U64(uint64(m.WatcherProc))
+	w.U32(uint32(m.WatcherCtrl))
+	w.U64(m.Callback)
+}
+func (m *CtrlWatch) Decode(r *Reader) error {
+	m.Token, m.Src = r.U64(), cap.ControllerID(r.U32())
+	m.Ref = decodeRef(r)
+	m.WatcherProc = cap.ProcID(r.U64())
+	m.WatcherCtrl = cap.ControllerID(r.U32())
+	m.Callback = r.U64()
+	return r.Err()
+}
+
+// CtrlNotify forwards a monitor callback to the Controller managing
+// the watching Process.
+type CtrlNotify struct {
+	Proc     cap.ProcID
+	Callback uint64
+	Kind     uint8
+}
+
+func (*CtrlNotify) WireType() Type { return TCtrlNotify }
+func (*CtrlNotify) Class() Class   { return Control }
+func (m *CtrlNotify) Encode(w *Writer) {
+	w.U64(uint64(m.Proc))
+	w.U64(m.Callback)
+	w.U8(m.Kind)
+}
+func (m *CtrlNotify) Decode(r *Reader) error {
+	m.Proc = cap.ProcID(r.U64())
+	m.Callback, m.Kind = r.U64(), r.U8()
+	return r.Err()
+}
+
+// CtrlEpoch announces a Controller's current epoch (rebroadcast by the
+// node-monitoring service after reboots).
+type CtrlEpoch struct {
+	Ctrl  cap.ControllerID
+	Epoch cap.Epoch
+}
+
+func (*CtrlEpoch) WireType() Type { return TCtrlEpoch }
+func (*CtrlEpoch) Class() Class   { return Control }
+func (m *CtrlEpoch) Encode(w *Writer) {
+	w.U32(uint32(m.Ctrl))
+	w.U32(uint32(m.Epoch))
+}
+func (m *CtrlEpoch) Decode(r *Reader) error {
+	m.Ctrl, m.Epoch = cap.ControllerID(r.U32()), cap.Epoch(r.U32())
+	return r.Err()
+}
+
+// ---- generic ----
+
+// Raw is a free-form message for non-FractOS protocols sharing the
+// fabric (the baseline systems). Kind is protocol-specific; IsData
+// classifies the message for traffic accounting.
+type Raw struct {
+	Kind   uint32
+	Token  uint64
+	IsData bool
+	Data   []byte
+}
+
+func (*Raw) WireType() Type { return TRaw }
+func (m *Raw) Class() Class {
+	if m.IsData {
+		return Data
+	}
+	return Control
+}
+func (m *Raw) Encode(w *Writer) {
+	w.U32(m.Kind)
+	w.U64(m.Token)
+	w.Bool(m.IsData)
+	w.Bytes32(m.Data)
+}
+func (m *Raw) Decode(r *Reader) error {
+	m.Kind, m.Token = r.U32(), r.U64()
+	m.IsData = r.Bool()
+	m.Data = r.Bytes32()
+	return r.Err()
+}

@@ -1,0 +1,231 @@
+// Package wire defines the FractOS on-wire protocol: a compact binary
+// codec and the message set exchanged between Processes, Controllers,
+// and the bootstrap services.
+//
+// Every message that crosses the fabric is really encoded to bytes and
+// decoded at the receiver; the encoded length is what the fabric
+// charges against link bandwidth and what the traffic-accounting
+// experiments count. This keeps the reproduction honest: the paper's
+// network-message and byte reductions fall out of actual serialized
+// traffic, not hand-written constants.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShort is returned when decoding runs past the end of the buffer.
+var ErrShort = errors.New("wire: short buffer")
+
+// ErrUnknownType is returned when unmarshalling an unregistered type.
+var ErrUnknownType = errors.New("wire: unknown message type")
+
+// Writer appends primitive values to a byte buffer.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes32 appends a length-prefixed (uint32) byte slice.
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String32 appends a length-prefixed string.
+func (w *Writer) String32(s string) { w.Bytes32([]byte(s)) }
+
+// Reader consumes primitive values from a byte buffer. Errors are
+// sticky: after the first short read, all further reads return zero
+// values and Err reports the failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrShort
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes32 reads a length-prefixed byte slice. The result is a copy so
+// callers may retain it.
+func (r *Reader) Bytes32() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.err = ErrShort
+		return nil
+	}
+	b := r.take(n)
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String32 reads a length-prefixed string.
+func (r *Reader) String32() string { return string(r.Bytes32()) }
+
+// Type identifies a message's concrete kind on the wire.
+type Type uint16
+
+// Class tags a message for traffic accounting: control-plane messages
+// versus bulk data transfers (Figure 2's two arrow kinds).
+type Class uint8
+
+const (
+	// Control marks small control-plane messages (syscalls, acks,
+	// invocations, capability operations).
+	Control Class = iota
+	// Data marks bulk data transfers (memory copies, storage blocks,
+	// argument payloads beyond a trivial size).
+	Data
+)
+
+// Message is any FractOS protocol message.
+type Message interface {
+	// WireType identifies the concrete message on the wire.
+	WireType() Type
+	// Class tags the message for traffic accounting.
+	Class() Class
+	// Encode appends the message body (excluding the type header).
+	Encode(w *Writer)
+	// Decode parses the message body.
+	Decode(r *Reader) error
+}
+
+var registry = map[Type]func() Message{}
+
+// Register installs a constructor for a message type. It panics on
+// duplicate registration (a programming error caught at init time).
+func Register(t Type, fn func() Message) {
+	if _, dup := registry[t]; dup {
+		panic(fmt.Sprintf("wire: duplicate registration of type %d", t))
+	}
+	registry[t] = fn
+}
+
+// Marshal encodes a message with its type header.
+func Marshal(m Message) []byte {
+	var w Writer
+	w.U16(uint16(m.WireType()))
+	m.Encode(&w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a framed message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	r := NewReader(b)
+	t := Type(r.U16())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	fn, ok := registry[t]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	m := fn()
+	if err := m.Decode(r); err != nil {
+		return nil, err
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return m, nil
+}
+
+// SizeOf returns the encoded size of a message including the type
+// header, without retaining the buffer.
+func SizeOf(m Message) int {
+	var w Writer
+	w.U16(uint16(m.WireType()))
+	m.Encode(&w)
+	return w.Len()
+}

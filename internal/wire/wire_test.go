@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fractos/internal/cap"
+)
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	var w Writer
+	w.U8(0xab)
+	w.U16(0x1234)
+	w.U32(0xdeadbeef)
+	w.U64(0x0102030405060708)
+	w.Bool(true)
+	w.Bytes32([]byte("hello"))
+	w.String32("world")
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 0xab || r.U16() != 0x1234 || r.U32() != 0xdeadbeef {
+		t.Fatal("primitive mismatch")
+	}
+	if r.U64() != 0x0102030405060708 || !r.Bool() {
+		t.Fatal("primitive mismatch")
+	}
+	if string(r.Bytes32()) != "hello" || r.String32() != "world" {
+		t.Fatal("bytes mismatch")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestReaderShortBufferSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if r.Err() != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", r.Err())
+	}
+	// All subsequent reads return zero without panicking.
+	if r.U64() != 0 || r.U8() != 0 || r.Bytes32() != nil {
+		t.Fatal("reads after error must return zero values")
+	}
+}
+
+func TestBytes32HugeLengthRejected(t *testing.T) {
+	var w Writer
+	w.U32(1 << 30) // absurd length, no payload
+	r := NewReader(w.Bytes())
+	if r.Bytes32() != nil || r.Err() == nil {
+		t.Fatal("oversized length must fail, not allocate")
+	}
+}
+
+func TestUnmarshalUnknownType(t *testing.T) {
+	var w Writer
+	w.U16(0xffff)
+	if _, err := Unmarshal(w.Bytes()); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+}
+
+func TestUnmarshalEmpty(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("expected error for empty buffer")
+	}
+}
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []Message {
+	ref := cap.Ref{Ctrl: 7, Obj: 99, Epoch: 3}
+	return []Message{
+		&MemCreate{Token: 1, Base: 4096, Size: 1 << 20, Perms: cap.MemRights},
+		&MemDiminish{Token: 2, Cid: 5, Offset: 128, Size: 256, Drop: cap.Write},
+		&MemCopy{Token: 3, SrcCid: 4, DstCid: 9},
+		&ReqCreate{Token: 4, Parent: 2, Tag: 77,
+			Imms: []ImmArg{{Offset: 0, Data: []byte{1, 2, 3}}, {Offset: 16, Data: []byte("x")}},
+			Caps: []CapSlot{{Slot: 0, Cid: 3}, {Slot: 2, Cid: 8}}},
+		&ReqInvoke{Token: 5, Cid: 6, Imms: []ImmArg{{Offset: 8, Data: []byte("args")}},
+			Caps: []CapSlot{{Slot: 1, Cid: 2}}},
+		&CapRevtree{Token: 6, Cid: 11},
+		&CapRevoke{Token: 7, Cid: 12},
+		&CapDrop{Token: 8, Cid: 13},
+		&MonitorDelegate{Token: 9, Cid: 14, Callback: 0xcafe},
+		&MonitorReceive{Token: 10, Cid: 15, Callback: 0xbeef},
+		&DeliverDone{Seq: 42},
+		&ProcBye{},
+		&Null{Token: 99},
+		&Completion{Token: 11, Status: StatusPerm, Cid: 16, Aux: 512},
+		&Deliver{Seq: 12, Tag: 88, Imms: []byte("immediate"),
+			Caps: []DeliveredCap{{Slot: 0, Cid: 17, Kind: cap.KindMemory, Rights: cap.Read, Size: 64}}},
+		&MonitorCB{Callback: 0xdead, Kind: MonitorCBReceive},
+		&CtrlDeriveMem{Token: 13, Src: 2, From: ref, Offset: 8, Size: 16, Drop: cap.Write},
+		&CtrlDeriveReq{Token: 14, Src: 2, From: ref,
+			Imms: []ImmArg{{Offset: 4, Data: []byte("d")}},
+			Caps: []CapXfer{{Slot: 3, Ref: ref, Kind: cap.KindRequest, Rights: cap.ReqRights, Size: 0, Monitored: true}}},
+		&CtrlRevtree{Token: 15, Src: 3, From: ref},
+		&CtrlRevoke{Token: 16, Src: 3, From: ref},
+		&CtrlValidate{Token: 17, Src: 4, Ref: ref, Need: cap.Read},
+		&CtrlValInfo{Token: 18, Status: StatusOK, Endpoint: 5, Base: 4096, Size: 8192, Rights: cap.MemRights},
+		&CtrlInvoke{Token: 19, Src: 5, Ref: ref,
+			Imms: []ImmArg{{Offset: 0, Data: bytes.Repeat([]byte("p"), 300)}},
+			Caps: []CapXfer{{Slot: 0, Ref: ref, Kind: cap.KindMemory, Rights: cap.Read | cap.Grant, Size: 4096}}},
+		&CtrlAck{Token: 20, Status: StatusRevoked, Obj: 1234, Epoch: 9, Size: 77, Rights: cap.All},
+		&CtrlCleanup{Token: 31, Refs: []cap.Ref{ref, {Ctrl: 1, Obj: 2, Epoch: 3}}},
+		&CtrlDelegNote{Token: 21, Src: 6, Ref: ref, Holder: 55},
+		&CtrlDelegNoteAck{Token: 22, Status: StatusOK, Child: ref},
+		&CtrlWatch{Token: 23, Src: 7, Ref: ref, WatcherProc: 66, WatcherCtrl: 8, Callback: 0xf00d},
+		&CtrlNotify{Proc: 67, Callback: 0xfeed, Kind: MonitorCBDelegate},
+		&CtrlEpoch{Ctrl: 9, Epoch: 4},
+		&Raw{Kind: 3, Token: 24, IsData: true, Data: []byte("baseline payload")},
+	}
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T round-trip mismatch:\n in: %+v\nout: %+v", m, m, got)
+		}
+		if SizeOf(m) != len(b) {
+			t.Errorf("%T: SizeOf=%d, Marshal len=%d", m, SizeOf(m), len(b))
+		}
+	}
+}
+
+func TestEveryRegisteredTypeCovered(t *testing.T) {
+	covered := map[Type]bool{}
+	for _, m := range sampleMessages() {
+		covered[m.WireType()] = true
+	}
+	for typ := range registry {
+		if !covered[typ] {
+			t.Errorf("registered type %d has no round-trip sample", typ)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	small := &ReqInvoke{Imms: []ImmArg{{Data: make([]byte, 64)}}}
+	big := &ReqInvoke{Imms: []ImmArg{{Data: make([]byte, 4096)}}}
+	if small.Class() != Control {
+		t.Error("small invoke should be Control")
+	}
+	if big.Class() != Data {
+		t.Error("large invoke should be Data")
+	}
+	if (&Deliver{Imms: make([]byte, 4096)}).Class() != Data {
+		t.Error("large deliver should be Data")
+	}
+	if (&Raw{IsData: true}).Class() != Data || (&Raw{}).Class() != Control {
+		t.Error("raw classification broken")
+	}
+}
+
+// Property: random truncation of a valid encoding never panics and
+// either errors or (only for truncation at the exact boundary)
+// round-trips.
+func TestTruncationNeverPanics(t *testing.T) {
+	msgs := sampleMessages()
+	f := func(pick uint8, cut uint16) bool {
+		m := msgs[int(pick)%len(msgs)]
+		b := Marshal(m)
+		n := int(cut) % (len(b) + 1)
+		_, err := Unmarshal(b[:n])
+		return n == len(b) || err != nil || alwaysDecodable(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// alwaysDecodable reports whether a message body can decode from a
+// prefix (zero-field messages decode from anything).
+func alwaysDecodable(m Message) bool {
+	switch m.(type) {
+	case *ProcBye:
+		return true
+	}
+	return false
+}
+
+// Property: random ReqCreate messages round-trip exactly.
+func TestReqCreateRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &ReqCreate{
+			Token:  rng.Uint64(),
+			Parent: cap.CapID(rng.Uint32()),
+			Tag:    rng.Uint64(),
+		}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			d := make([]byte, rng.Intn(100))
+			rng.Read(d)
+			m.Imms = append(m.Imms, ImmArg{Offset: rng.Uint32() % 1024, Data: d})
+		}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			m.Caps = append(m.Caps, CapSlot{Slot: uint16(rng.Intn(16)), Cid: cap.CapID(rng.Uint32())})
+		}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusErr(t *testing.T) {
+	if StatusOK.Err() != nil {
+		t.Error("StatusOK.Err() must be nil")
+	}
+	err := StatusRevoked.Err()
+	if err == nil || !IsStatus(err, StatusRevoked) {
+		t.Errorf("err = %v", err)
+	}
+	if IsStatus(err, StatusPerm) {
+		t.Error("IsStatus matched wrong code")
+	}
+	for s := StatusOK; s <= StatusQuota; s++ {
+		if s.String() == "status(?)" {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Register(TMemCreate, func() Message { return new(MemCreate) })
+}
