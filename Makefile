@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench eval trace examples clean
+.PHONY: all build vet lint test race bench eval trace examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 	gofmt -l . | (! grep .) || (echo "gofmt needed"; exit 1)
+
+# lint runs the repository's custom analyzers (capcheck, epochguard,
+# panicfree, simdet, statuscheck); see docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/fractos-vet
 
 test:
 	$(GO) test ./...

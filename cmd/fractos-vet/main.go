@@ -1,0 +1,185 @@
+// Command fractos-vet runs the repository's custom static analyzers
+// (tools/analyzers/...) over the module: capability-validation order
+// (capcheck), epoch fencing of peer handlers (epochguard), simulator
+// determinism (simdet), wire.Status hygiene and completion protocol
+// (statuscheck), and the no-panic policy (panicfree).
+//
+// Usage:
+//
+//	fractos-vet [-only name[,name...]] [package ...]
+//
+// With no package arguments the whole module is analyzed. Findings are
+// printed as file:line:col: [analyzer] message, and the exit status is
+// 1 if there were any, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fractos/tools/analyzers/analysis"
+	"fractos/tools/analyzers/capcheck"
+	"fractos/tools/analyzers/epochguard"
+	"fractos/tools/analyzers/loader"
+	"fractos/tools/analyzers/panicfree"
+	"fractos/tools/analyzers/simdet"
+	"fractos/tools/analyzers/statuscheck"
+)
+
+// all is the fractos-vet suite, in reporting order.
+var all = []*analysis.Analyzer{
+	capcheck.Analyzer,
+	epochguard.Analyzer,
+	panicfree.Analyzer,
+	simdet.Analyzer,
+	statuscheck.Analyzer,
+}
+
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fractos-vet [-only name[,name...]] [package ...]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractos-vet:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractos-vet:", err)
+		os.Exit(2)
+	}
+	modPath, modDir, err := loader.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractos-vet:", err)
+		os.Exit(2)
+	}
+	l := &loader.Loader{ModulePath: modPath, ModuleDir: modDir}
+
+	var pkgs []*loader.Package
+	if args := flag.Args(); len(args) > 0 {
+		pkgs, err = l.Load(qualify(args, modPath)...)
+	} else {
+		pkgs, err = l.LoadModule()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractos-vet:", err)
+		os.Exit(2)
+	}
+
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, finding{
+					pos:      pkg.Fset.Position(d.Pos),
+					analyzer: name,
+					message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "fractos-vet: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		file := f.pos.Filename
+		if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, f.pos.Line, f.pos.Column, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fractos-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by the -only flag.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var suite []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}
+
+// qualify turns bare package arguments into module-qualified import
+// paths: "internal/core" and "./internal/core" both mean
+// "<module>/internal/core"; fully qualified paths pass through.
+func qualify(args []string, modPath string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "./")
+		if a == "" || a == "." {
+			out = append(out, modPath)
+			continue
+		}
+		if a == modPath || strings.HasPrefix(a, modPath+"/") {
+			out = append(out, a)
+			continue
+		}
+		out = append(out, modPath+"/"+a)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fractos/internal/assert"
 	"fractos/internal/cap"
 	"fractos/internal/fabric"
 	"fractos/internal/wire"
@@ -28,7 +29,12 @@ func (c *Controller) procFailed(ps *procState) {
 			return
 		}
 		if e.Ref.Ctrl == c.id {
-			c.revokeLocal(e.Ref)
+			st := c.revokeLocal(e.Ref)
+			// Already-revoked is fine during cascade cleanup; anything
+			// else means the leased entry pointed at a ref this
+			// controller no longer owns.
+			assert.That(st == wire.StatusOK || st == wire.StatusRevoked,
+				"core: leased-entry revocation failed with status %v", st)
 			return
 		}
 		ref := e.Ref

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"fractos/internal/assert"
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
@@ -27,11 +28,11 @@ func AblationDoubleBuffer() *Table {
 			dd, _ := dst.MemoryCreate(tk, 0, uint64(size), cap.MemRights)
 			d, err := proc.GrantCap(dst, dd, src)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			start := tk.Now()
 			if err := src.MemoryCopy(tk, s, d); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			lat = tk.Now() - start
 		})
@@ -69,7 +70,7 @@ func AblationWindow() *Table {
 			srv := proc.Attach(cl, 1, "srv", 0)
 			req, err := srv.RequestCreate(tk, 1, nil, nil)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			// Parallel handlers, each sleeping handleTime per request.
 			for h := 0; h < handlers; h++ {
@@ -96,11 +97,11 @@ func AblationWindow() *Table {
 					cli := proc.Attach(cl, 0, fmt.Sprintf("cli%d", c), 0)
 					creq, err := proc.GrantCap(srv, req, cli)
 					if err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/ablations")
 					}
 					for i := 0; i < callsPerClient; i++ {
 						if _, err := cli.Call(ct, creq, nil, nil, 0); err != nil {
-							panic(err)
+							assert.NoErr(err, "exp/ablations")
 						}
 					}
 					wg.Done()
@@ -130,21 +131,21 @@ func AblationRevtreeDepth() *Table {
 			owner := proc.Attach(cl, 0, "owner", 4096)
 			base, err := owner.MemoryCreate(tk, 0, 4096, cap.MemRights)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			root, err := owner.Revtree(tk, base)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			cur := root
 			for i := 1; i < depth; i++ {
 				if cur, err = owner.Revtree(tk, cur); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/ablations")
 				}
 			}
 			start := tk.Now()
 			if err := owner.Revoke(tk, root); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/ablations")
 			}
 			lat = tk.Now() - start
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fractos/internal/app/faceverify"
+	"fractos/internal/assert"
 	"fractos/internal/core"
 	"fractos/internal/fabric"
 	"fractos/internal/sim"
@@ -20,13 +21,13 @@ func setupApp(tk *sim.Task, cl *core.Cluster, cfg faceverify.Config, useBaseline
 	if useBaseline {
 		app, err := faceverify.SetupBaseline(tk, cl, cfg)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/app")
 		}
 		return appVerifier{verify: app.VerifyBatch, db: app.DB}
 	}
 	app, err := faceverify.SetupFractOS(tk, cl, cfg)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/app")
 	}
 	return appVerifier{verify: app.VerifyBatch, db: app.DB}
 }
@@ -46,10 +47,10 @@ func appLatency(placement core.Placement, cfg faceverify.Config, useBaseline boo
 		for _, r := range reqs {
 			out, err := v.verify(tk, r)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/app")
 			}
 			if !r.CheckResults(out) {
-				panic("wrong verification verdicts")
+				assert.Failf("exp/app: wrong verification verdicts")
 			}
 		}
 		lat = (tk.Now() - start) / sim.Time(len(reqs))
@@ -103,7 +104,7 @@ func appThroughput(placement core.Placement, cfg faceverify.Config, useBaseline 
 			cl.K.Spawn("app-worker", func(wt *sim.Task) {
 				for _, r := range reqs {
 					if _, err := v.verify(wt, r); err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/app")
 					}
 				}
 				wg.Done()
@@ -161,10 +162,10 @@ func Figure2() *Table {
 			case "ring":
 				app, err := faceverify.SetupFractOS(tk, cl, cfg)
 				if err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/app")
 				}
 				if err := app.EnableRing(tk); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/app")
 				}
 				verify, db = app.RingVerify, app.DB
 			default:
@@ -203,7 +204,7 @@ func Figure2() *Table {
 			counting = true
 			for _, r := range reqs {
 				if _, err := verify(tk, r); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/app")
 				}
 			}
 			counting = false

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"fractos/internal/assert"
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
@@ -33,19 +34,19 @@ func AblationConcurrentCopies() *Table {
 					defer wg.Done()
 					s, err := src.MemoryCreate(wt, uint64(w*size), uint64(size), cap.MemRights)
 					if err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/conccopy")
 					}
 					dd, err := dst.MemoryCreate(wt, uint64(w*size), uint64(size), cap.MemRights)
 					if err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/conccopy")
 					}
 					d, err := proc.GrantCap(dst, dd, src)
 					if err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/conccopy")
 					}
 					for i := 0; i < perWorker; i++ {
 						if err := src.MemoryCopy(wt, s, d); err != nil {
-							panic(err)
+							assert.NoErr(err, "exp/conccopy")
 						}
 					}
 				})

@@ -1,8 +1,15 @@
 package exp
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
+
+	"fractos/internal/app/faceverify"
+	"fractos/internal/core"
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
 )
 
 // TestSystemDeterminism runs full-stack experiments twice and requires
@@ -10,7 +17,7 @@ import (
 // Controllers, services, applications — is a deterministic function of
 // its configuration.
 func TestSystemDeterminism(t *testing.T) {
-	cases := []func() *Table{Table3, Figure2, AblationPlacement}
+	cases := []func() *Table{Table3, Figure2, Figure8, AblationPlacement}
 	for _, mk := range cases {
 		a := mk()
 		b := mk()
@@ -20,5 +27,90 @@ func TestSystemDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(a.Rows, b.Rows) {
 			t.Errorf("%s rows differ across runs", a.ID)
 		}
+	}
+}
+
+// captureTrace runs a workload on a fresh cluster with the fabric
+// trace hook installed and returns the rendered event log: one line
+// per transfer, in delivery order, covering timestamps, endpoints,
+// message types, sizes, and classes. Two runs of the same workload
+// must produce byte-identical logs.
+func captureTrace(t *testing.T, cfg core.ClusterConfig, run func(tk *sim.Task, cl *core.Cluster)) string {
+	t.Helper()
+	var b strings.Builder
+	runOn(cfg, func(tk *sim.Task, cl *core.Cluster) {
+		cl.Net.SetTrace(func(e fabric.TraceEvent) {
+			fmt.Fprintf(&b, "%d %d>%d type=%d rdma=%v bytes=%d class=%d\n",
+				e.At, e.From, e.To, e.Type, e.RDMA, e.Bytes, e.Class)
+		})
+		run(tk, cl)
+	})
+	if b.Len() == 0 {
+		t.Fatal("trace capture saw no fabric transfers")
+	}
+	return b.String()
+}
+
+// diffTraces reports the first line where two event logs diverge.
+func diffTraces(t *testing.T, name, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			t.Errorf("%s traces diverge at event %d:\n run A: %s\n run B: %s", name, i, la[i], lb[i])
+			return
+		}
+	}
+	t.Errorf("%s traces diverge in length: %d vs %d events", name, len(la), len(lb))
+}
+
+// TestTraceDeterminism replays two end-to-end workloads — the §6.2
+// multi-stage pipeline in all three composition models, and the
+// face-verification application — and requires the complete fabric
+// event stream (every message and RDMA transfer, with virtual
+// timestamps) to be byte-identical across runs.
+func TestTraceDeterminism(t *testing.T) {
+	pipelineRun := func(tk *sim.Task, cl *core.Cluster) {
+		pl := newPipeline(tk, cl, 4, 4<<10)
+		pl.runStar(tk)
+		pl.runFastStar(tk)
+		pl.runChain(tk)
+	}
+	appRun := func(tk *sim.Task, cl *core.Cluster) {
+		cfg := faceverify.Config{Batch: 8, Files: 2, Slots: 1}
+		v := setupApp(tk, cl, cfg, false)
+		rng := newRand(5)
+		for i := 0; i < cfg.Files; i++ {
+			r := faceverify.MakeRequest(v.db, i, cfg.Batch, rng)
+			out, err := v.verify(tk, r)
+			if err != nil {
+				t.Errorf("faceverify request %d: %v", i, err)
+				return
+			}
+			if !r.CheckResults(out) {
+				t.Errorf("faceverify request %d: wrong verdicts", i)
+			}
+		}
+	}
+
+	workloads := []struct {
+		name string
+		cfg  core.ClusterConfig
+		run  func(tk *sim.Task, cl *core.Cluster)
+	}{
+		{"pipeline", core.ClusterConfig{Nodes: 5}, pipelineRun},
+		{"faceverify", core.ClusterConfig{Nodes: 4, Placement: core.CtrlOnSNIC}, appRun},
+	}
+	for _, w := range workloads {
+		a := captureTrace(t, w.cfg, w.run)
+		b := captureTrace(t, w.cfg, w.run)
+		diffTraces(t, w.name, a, b)
 	}
 }

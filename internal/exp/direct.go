@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fractos/internal/assert"
 	"fractos/internal/core"
 	"fractos/internal/sim"
 )
@@ -47,7 +48,7 @@ func storDirectLatency(size uint64) sim.Time {
 		start := tk.Now()
 		for _, off := range offs {
 			if err := st.file.DirectReadAt(tk, off, size, mem); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/direct")
 			}
 		}
 		avg = (tk.Now() - start) / k

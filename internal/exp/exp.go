@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"fractos/internal/assert"
 	"fractos/internal/core"
 	"fractos/internal/sim"
 )
@@ -161,7 +162,7 @@ func runOn(cfg core.ClusterConfig, fn func(tk *sim.Task, cl *core.Cluster)) {
 	cl.K.Run()
 	cl.K.Shutdown()
 	if !done {
-		panic("exp: experiment task did not complete (deadlock)")
+		assert.Failf("exp: experiment task did not complete (deadlock)")
 	}
 }
 

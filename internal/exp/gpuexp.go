@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fractos/internal/app/faceverify"
+	"fractos/internal/assert"
 	"fractos/internal/baseline"
 	"fractos/internal/cap"
 	"fractos/internal/core"
@@ -43,7 +44,7 @@ func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService
 	faceverify.RegisterKernel(dev)
 	ad := gpu.NewAdaptor(cl, 1, "gpu-adaptor", dev)
 	if err := ad.Start(tk); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	imgBytes := batch * faceverify.ImgSize
 	probeBytes := batch * faceverify.ProbeSize
@@ -52,11 +53,11 @@ func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService
 	g.app = proc.Attach(cl, 0, "gpu-client", slots*slotBytes+4096)
 	ctxInit, err := proc.GrantCap(ad.P, ad.CtxInit, g.app)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	d, err := g.app.Call(tk, ctxInit, nil, nil, gpu.SlotCont)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	allocReq, _ := d.Cap(gpu.SlotAlloc)
 	loadReq, _ := d.Cap(gpu.SlotLoad)
@@ -65,17 +66,17 @@ func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService
 		[]wire.ImmArg{proc.U64Arg(8, uint64(len(name))), proc.BytesArg(16, []byte(name))},
 		nil, gpu.SlotCont)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	g.invoke, _ = ld.Cap(gpu.SlotKernel)
 
 	alloc := func(size int) (proc.Cap, uint64) {
 		d, err := g.app.Call(tk, allocReq, []wire.ImmArg{proc.U64Arg(8, uint64(size))}, nil, gpu.SlotCont)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		if st := d.U64(0); st != gpu.StatusOK {
-			panic(fmt.Sprintf("gpu alloc status %d", st))
+			assert.Failf("exp/gpuexp: gpu alloc status %d", st)
 		}
 		c, _ := d.Cap(gpu.SlotBuf)
 		return c, d.U64(8)
@@ -88,14 +89,14 @@ func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService
 		s.imgOff = i * slotBytes
 		s.probeOff = s.imgOff + imgBytes
 		if s.imgMem, err = g.app.MemoryCreate(tk, uint64(s.imgOff), uint64(imgBytes), cap.MemRights); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		if s.probeMem, err = g.app.MemoryCreate(tk, uint64(s.probeOff), uint64(probeBytes), cap.MemRights); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		s.replyTag = g.app.NewTag()
 		if s.reply, err = g.app.RequestCreate(tk, s.replyTag, nil, nil); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		g.slots = append(g.slots, s)
 	}
@@ -128,10 +129,10 @@ func (g *gpuService) oneRequest(tk *sim.Task) {
 	}()
 	xferStart := tk.Now()
 	if err := g.app.MemoryCopy(tk, s.imgMem, s.gpuImg); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	if err := g.app.MemoryCopy(tk, s.probeMem, s.gpuProbe); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	g.lastTransfer = tk.Now() - xferStart
 	ao := gpu.ArgOffset(len(faceverify.KernelName), 0)
@@ -142,15 +143,15 @@ func (g *gpuService) oneRequest(tk *sim.Task) {
 			proc.U64Arg(ao+16, s.outAddr), proc.U64Arg(ao+24, uint64(g.batch)),
 		},
 		[]proc.Arg{{Slot: gpu.SlotSuccess, Cap: s.reply}, {Slot: gpu.SlotError, Cap: s.reply}}); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	d, err := f.Wait(tk)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	d.Done()
 	if st := d.U64(0); st != gpu.StatusOK {
-		panic(fmt.Sprintf("gpu pipeline status %d", st))
+		assert.Failf("exp/gpuexp: gpu pipeline status %d", st)
 	}
 }
 
@@ -181,13 +182,13 @@ func newRCUDAService(tk *sim.Task, cl *core.Cluster, batch, slots int) *rcudaSer
 		var s baseSlots
 		var err error
 		if s.imgAddr, err = r.cli.Malloc(tk, len(r.img)); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		if s.probeAddr, err = r.cli.Malloc(tk, len(r.probe)); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		if s.outAddr, err = r.cli.Malloc(tk, batch); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		r.slots = append(r.slots, s)
 	}
@@ -203,16 +204,16 @@ func (r *rcudaService) oneRequest(tk *sim.Task) {
 		r.free.Release()
 	}()
 	if err := r.cli.MemcpyH2D(tk, s.imgAddr, r.img); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	if err := r.cli.MemcpyH2D(tk, s.probeAddr, r.probe); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	if err := r.cli.Launch(tk, faceverify.KernelName, s.imgAddr, s.probeAddr, s.outAddr, uint64(r.batch)); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 	if _, err := r.cli.MemcpyD2H(tk, s.outAddr, r.batch); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/gpuexp")
 	}
 }
 
@@ -230,7 +231,7 @@ func localGPUTime(batch int) sim.Time {
 		args := []uint64{0, uint64(batch * faceverify.ImgSize),
 			uint64(batch * (faceverify.ImgSize + faceverify.ProbeSize)), uint64(batch)}
 		if _, err := dev.Exec(tk, faceverify.KernelName, mem, args); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/gpuexp")
 		}
 		lat = tk.Now() - start
 	})

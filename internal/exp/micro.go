@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"fractos/internal/assert"
 	"fractos/internal/baseline"
 	"fractos/internal/cap"
 	"fractos/internal/core"
@@ -30,7 +31,7 @@ func rawPingPong(serverDomain fabric.Domain) sim.Time {
 		})
 		start := tk.Now()
 		if _, err := client.Call(tk, server.EP.ID, 1, nil, false); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		rtt = tk.Now() - start
 	})
@@ -44,7 +45,7 @@ func nullOpLatency(p core.Placement) sim.Time {
 		app := proc.Attach(cl, 0, "app", 0)
 		start := tk.Now()
 		if err := app.Null(tk); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		lat = tk.Now() - start
 	})
@@ -84,19 +85,19 @@ func measureCopy(p core.Placement, hw bool, size int) sim.Time {
 		dst := proc.Attach(cl, 1, "dst", size)
 		srcCap, err := src.MemoryCreate(tk, 0, uint64(size), cap.MemRights)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		dstCapD, err := dst.MemoryCreate(tk, 0, uint64(size), cap.MemRights)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		dstCap, err := proc.GrantCap(dst, dstCapD, src)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		start := tk.Now()
 		if err := src.MemoryCopy(tk, srcCap, dstCap); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		lat = tk.Now() - start
 	})
@@ -112,7 +113,7 @@ func measureRawRDMA(size int) sim.Time {
 		b := cl.Net.Attach("rdma-b", fabric.Location{Node: 1, Domain: fabric.Host}, size)
 		start := tk.Now()
 		if _, err := cl.Net.RDMARead(a.ID, 0, b.ID, 0, size).Wait(tk); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		lat = tk.Now() - start
 	})
@@ -166,22 +167,22 @@ func measureRPC(p core.Placement, nodes int, argSize int, nCaps int) sim.Time {
 		cli := proc.Attach(cl, 0, "cli", 4096)
 		req, err := srv.RequestCreate(tk, 1, nil, nil)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		creq, err := proc.GrantCap(srv, req, cli)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		// Pre-created reply Request (slot 15) and delegated caps.
 		reply, replyTag, err := cli.ReplyRequest(tk)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		var capArgs []proc.Arg
 		for i := 0; i < nCaps; i++ {
 			m, err := cli.MemoryCreate(tk, uint64(i*64), 64, cap.MemRights)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/micro")
 			}
 			capArgs = append(capArgs, proc.Arg{Slot: uint16(i), Cap: m})
 		}
@@ -196,7 +197,7 @@ func measureRPC(p core.Placement, nodes int, argSize int, nCaps int) sim.Time {
 				}
 				rep, _ := d.Cap(15)
 				if err := srv.Invoke(st, rep, nil, nil); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/micro")
 				}
 				d.Done()
 			}
@@ -206,7 +207,7 @@ func measureRPC(p core.Placement, nodes int, argSize int, nCaps int) sim.Time {
 		d, err := cli.CallWith(tk, creq,
 			[]wire.ImmArg{proc.BytesArg(0, payload)}, capArgs, replyTag)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		_ = d
 		lat = tk.Now() - start
@@ -248,17 +249,17 @@ func revocationTime(n int, sharedTree bool) sim.Time {
 		holder := proc.Attach(cl, 1, "holder", 0)
 		base, err := owner.MemoryCreate(tk, 0, 4096, cap.MemRights)
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/micro")
 		}
 		var leases []proc.Cap
 		if sharedTree {
 			one, err := owner.Revtree(tk, base)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/micro")
 			}
 			for i := 0; i < n; i++ {
 				if _, err := proc.GrantCap(owner, one, holder); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/micro")
 				}
 			}
 			leases = []proc.Cap{one}
@@ -266,10 +267,10 @@ func revocationTime(n int, sharedTree bool) sim.Time {
 			for i := 0; i < n; i++ {
 				lease, err := owner.Revtree(tk, base)
 				if err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/micro")
 				}
 				if _, err := proc.GrantCap(owner, lease, holder); err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/micro")
 				}
 				leases = append(leases, lease)
 			}
@@ -277,7 +278,7 @@ func revocationTime(n int, sharedTree bool) sim.Time {
 		start := tk.Now()
 		for _, l := range leases {
 			if err := owner.Revoke(tk, l); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/micro")
 			}
 		}
 		lat = tk.Now() - start

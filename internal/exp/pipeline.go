@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"fractos/internal/assert"
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
@@ -42,16 +43,16 @@ func newPipeStage(tk *sim.Task, cl *core.Cluster, node, size int, name string) *
 	s := &pipeStage{p: proc.Attach(cl, node, name, size), size: size}
 	var err error
 	if s.inCap, err = s.p.MemoryCreate(tk, 0, uint64(size), cap.MemRights); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	if s.xform, err = s.p.RequestCreate(tk, tagXform, nil, nil); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	if s.push, err = s.p.RequestCreate(tk, tagPush, nil, nil); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	if s.chain, err = s.p.RequestCreate(tk, tagChain, nil, nil); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	cl.K.Spawn(name+".loop", s.serve)
 	return s
@@ -88,10 +89,10 @@ func (s *pipeStage) serve(t *sim.Task) {
 			}
 			view, err := s.p.MemoryDiminish(t, s.inCap, 0, uint64(n), 0)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/pipeline")
 			}
 			if err := s.p.MemoryCopy(t, view, dst); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/pipeline")
 			}
 			s.p.Drop(t, view)
 			// fast-star replies to the client; chain invokes the next
@@ -125,7 +126,7 @@ func newPipeline(tk *sim.Task, cl *core.Cluster, nStages, n int) *pipeline {
 	pl.client = proc.Attach(cl, 0, "pipe-client", n)
 	var err error
 	if pl.buf, err = pl.client.MemoryCreate(tk, 0, uint64(n), cap.MemRights); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	for i := 0; i < nStages; i++ {
 		node := 1 + i%(len(cl.Ctrls)-1) // stages on nodes 1..N-1
@@ -137,7 +138,7 @@ func newPipeline(tk *sim.Task, cl *core.Cluster, nStages, n int) *pipeline {
 		grant := func(c proc.Cap) proc.Cap {
 			g, err := proc.GrantCap(st.p, c, pl.client)
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/pipeline")
 			}
 			return g
 		}
@@ -161,7 +162,7 @@ func (pl *pipeline) check() {
 	s := byte(len(pl.stages))
 	for i := range b {
 		if b[i] != byte(i)+s {
-			panic(fmt.Sprintf("pipeline data corrupted at %d: got %d want %d", i, b[i], byte(i)+s))
+			assert.Failf("exp/pipeline: data corrupted at %d: got %d want %d", i, b[i], byte(i)+s)
 		}
 	}
 }
@@ -174,13 +175,13 @@ func (pl *pipeline) runStar(tk *sim.Task) sim.Time {
 	lenArg := []wire.ImmArg{proc.U64Arg(0, uint64(pl.n))}
 	for i := range pl.stages {
 		if err := pl.client.MemoryCopy(tk, pl.buf, pl.stageIn[i]); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/pipeline")
 		}
 		if _, err := pl.client.Call(tk, pl.xform[i], lenArg, nil, 0); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/pipeline")
 		}
 		if err := pl.client.MemoryCopy(tk, pl.stageIn[i], pl.buf); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/pipeline")
 		}
 	}
 	lat := tk.Now() - start
@@ -195,7 +196,7 @@ func (pl *pipeline) runFastStar(tk *sim.Task) sim.Time {
 	start := tk.Now()
 	lenArg := []wire.ImmArg{proc.U64Arg(0, uint64(pl.n))}
 	if err := pl.client.MemoryCopy(tk, pl.buf, pl.stageIn[0]); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	for i := range pl.stages {
 		dst := pl.buf
@@ -204,7 +205,7 @@ func (pl *pipeline) runFastStar(tk *sim.Task) sim.Time {
 		}
 		if _, err := pl.client.Call(tk, pl.push[i], lenArg,
 			[]proc.Arg{{Slot: 0, Cap: dst}}, 1); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/pipeline")
 		}
 	}
 	lat := tk.Now() - start
@@ -221,7 +222,7 @@ func (pl *pipeline) runChain(tk *sim.Task) sim.Time {
 	// (dst = stage i+1's buffer, next = stage i+1's refined Request).
 	reply, replyTag, err := pl.client.ReplyRequest(tk)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	next := reply
 	var reqs []proc.Cap
@@ -234,14 +235,14 @@ func (pl *pipeline) runChain(tk *sim.Task) sim.Time {
 		r, err := pl.client.Derive(tk, pl.chain[i], nil,
 			[]proc.Arg{{Slot: 0, Cap: dst}, {Slot: 1, Cap: nextReq}})
 		if err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/pipeline")
 		}
 		reqs = append(reqs, r)
 		next = r
 	}
 	start := tk.Now()
 	if err := pl.client.MemoryCopy(tk, pl.buf, pl.stageIn[0]); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	dst0 := pl.buf
 	if len(pl.stages) > 1 {
@@ -251,11 +252,11 @@ func (pl *pipeline) runChain(tk *sim.Task) sim.Time {
 	if err := pl.client.Invoke(tk, pl.chain[0],
 		[]wire.ImmArg{proc.U64Arg(0, uint64(pl.n))},
 		[]proc.Arg{{Slot: 0, Cap: dst0}, {Slot: 1, Cap: next}}); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	d, err := f.Wait(tk)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/pipeline")
 	}
 	d.Done()
 	lat := tk.Now() - start

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"fractos/internal/assert"
 	"fractos/internal/baseline"
 	"fractos/internal/cap"
 	"fractos/internal/core"
@@ -55,24 +56,24 @@ func buildStorStack(tk *sim.Task, cl *core.Cluster, kind storKind, forWrite bool
 	default:
 		ad := nvme.NewAdaptor(cl, storDevNode, "nvme", dev, nvme.AdaptorConfig{})
 		if err := ad.Start(tk); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/storage")
 		}
 		if err := svc.Wire(ad); err != nil {
-			panic(err)
+			assert.NoErr(err, "exp/storage")
 		}
 		drop = func() {}
 	}
 	if err := svc.Start(tk); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/storage")
 	}
 	client := proc.Attach(cl, storClientNode, "stor-client", 12<<20)
 	open, err := proc.GrantCap(svc.P, svc.Open, client)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/storage")
 	}
 	mode := uint64(fs.OpenRead | fs.OpenWrite | fs.OpenCreate)
 	if _, err := fs.OpenFile(tk, client, open, "bench.bin", mode, storFileBytes); err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/storage")
 	}
 	reopen := uint64(fs.OpenRead)
 	if forWrite {
@@ -83,7 +84,7 @@ func buildStorStack(tk *sim.Task, cl *core.Cluster, kind storKind, forWrite bool
 	}
 	f, err := fs.OpenFile(tk, client, open, "bench.bin", reopen, 0)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/storage")
 	}
 	st := &storStack{client: client, file: f, mem: map[uint64]proc.Cap{}, drop: drop, setCache: setCache}
 	st.drop()
@@ -97,7 +98,7 @@ func (st *storStack) buf(tk *sim.Task, n uint64) proc.Cap {
 	}
 	c, _, err := st.client.AllocMemory(tk, int(n), cap.MemRights)
 	if err != nil {
-		panic(err)
+		assert.NoErr(err, "exp/storage")
 	}
 	st.mem[n] = c
 	return c
@@ -143,7 +144,7 @@ func storLatencyOn(p core.Placement, kind storKind, size uint64, isWrite bool) s
 				err = st.file.ReadAt(tk, off, size, mem)
 			}
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/storage")
 			}
 		}
 		avg = (tk.Now() - start) / k
@@ -169,7 +170,7 @@ func localLatency(size uint64, isWrite bool) sim.Time {
 				err = dev.Read(tk, int64(off), buf)
 			}
 			if err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/storage")
 			}
 		}
 		avg = (tk.Now() - start) / k
@@ -244,7 +245,7 @@ func storSeqLatency(kind storKind, size uint64) sim.Time {
 		start := tk.Now()
 		for i := 0; i < k; i++ {
 			if err := st.file.ReadAt(tk, uint64(i)*size, size, mem); err != nil {
-				panic(err)
+				assert.NoErr(err, "exp/storage")
 			}
 		}
 		avg = (tk.Now() - start) / k
@@ -274,7 +275,7 @@ func storThroughput(kind storKind, sequential bool, inflight int) float64 {
 			cl.K.Spawn("stor-worker", func(wt *sim.Task) {
 				mem, _, err := st.client.AllocMemory(wt, int(size), cap.MemRights)
 				if err != nil {
-					panic(err)
+					assert.NoErr(err, "exp/storage")
 				}
 				offs := randOffsets(opsPerWorker, size, int64(100+w))
 				for i := 0; i < opsPerWorker; i++ {
@@ -283,7 +284,7 @@ func storThroughput(kind storKind, sequential bool, inflight int) float64 {
 						off = (uint64(w*opsPerWorker+i) * size) % storFileBytes
 					}
 					if err := st.file.ReadAt(wt, off, size, mem); err != nil {
-						panic(err)
+						assert.NoErr(err, "exp/storage")
 					}
 				}
 				wg.Done()

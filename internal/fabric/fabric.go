@@ -360,7 +360,11 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 		}
 		decoded, err := wire.Unmarshal(buf)
 		if err != nil {
-			panic(fmt.Sprintf("fabric: undecodable message %T: %v", m, err))
+			// An undecodable frame is treated like line corruption: the
+			// fabric drops it instead of tearing down the simulation.
+			// Upper layers already tolerate loss — pending calls unwind
+			// through the peer-failure path (failure as revocation).
+			return
 		}
 		dst.Inbox.TrySend(Delivery{From: from, Msg: decoded, Bytes: len(buf)})
 	})

@@ -1,5 +1,7 @@
 package sim
 
+import "fractos/internal/assert"
+
 // Chan is a typed FIFO channel between tasks, analogous to a Go
 // channel but scheduled under the kernel's virtual clock. A capacity
 // of zero means unbounded (sends never block); a positive capacity
@@ -70,9 +72,7 @@ func (c *Chan[T]) Close() {
 
 // Send delivers v, blocking while a bounded buffer is full.
 func (c *Chan[T]) Send(t *Task, v T) {
-	if c.closed {
-		panic("sim: send on closed channel " + c.name)
-	}
+	assert.That(!c.closed, "sim: send on closed channel %s", c.name)
 	// Fast path: hand directly to a blocked receiver.
 	if w := c.popRecv(); w != nil {
 		w.v = v
@@ -88,9 +88,7 @@ func (c *Chan[T]) Send(t *Task, v T) {
 	sw := &sendWaiter[T]{t: t, v: v}
 	c.sendq = append(c.sendq, sw)
 	t.park()
-	if !sw.ok {
-		panic("sim: send on closed channel " + c.name)
-	}
+	assert.That(sw.ok, "sim: send on closed channel %s", c.name)
 }
 
 // TrySend delivers v without blocking. It reports false if a bounded

@@ -1,5 +1,7 @@
 package sim
 
+import "fractos/internal/assert"
+
 // Future is a single-assignment value that tasks can wait on. FractOS
 // syscalls are fully asynchronous (posted to a message channel); the
 // Process library wraps them in Futures to offer synchronous-looking
@@ -32,9 +34,7 @@ func (f *Future[T]) Fail(err error) {
 }
 
 func (f *Future[T]) resolve(v T, err error) {
-	if f.done {
-		panic("sim: future resolved twice")
-	}
+	assert.That(!f.done, "sim: future resolved twice")
 	f.done = true
 	f.val = v
 	f.err = err
@@ -100,9 +100,7 @@ type WaitGroup struct {
 // Add increments the counter by delta.
 func (wg *WaitGroup) Add(delta int) {
 	wg.n += delta
-	if wg.n < 0 {
-		panic("sim: negative WaitGroup counter")
-	}
+	assert.That(wg.n >= 0, "sim: negative WaitGroup counter")
 	if wg.n == 0 {
 		wg.wakeAll()
 	}

@@ -178,6 +178,7 @@ func (t *Task) park() {
 	t.k.yield <- struct{}{}
 	<-t.resume
 	if t.killed {
+		//fractos:panic-ok cooperative kill: caught by the task trampoline's recover
 		panic(killSignal{})
 	}
 }
@@ -238,6 +239,7 @@ func (k *Kernel) run(deadline Time) Time {
 			if k.panicMsg != "" {
 				msg := k.panicMsg
 				k.panicMsg = ""
+				//fractos:panic-ok re-surfacing a task's panic on the driver goroutine
 				panic(msg)
 			}
 		case e.fn != nil:

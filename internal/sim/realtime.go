@@ -30,12 +30,12 @@ func (k *Kernel) pace(at Time) {
 	if k.rtAnchor.IsZero() {
 		// Anchor at the current virtual time so the very first
 		// advance already paces.
-		k.rtAnchor = time.Now()
+		k.rtAnchor = time.Now() //fractos:nondet-ok realtime pacing is an explicit opt-in feature
 		k.rtBase = k.now
 	}
 	wantWall := time.Duration(float64(at-k.rtBase) / k.rtFactor)
-	elapsed := time.Since(k.rtAnchor)
+	elapsed := time.Since(k.rtAnchor) //fractos:nondet-ok realtime pacing
 	if wantWall > elapsed {
-		time.Sleep(wantWall - elapsed)
+		time.Sleep(wantWall - elapsed) //fractos:nondet-ok realtime pacing
 	}
 }

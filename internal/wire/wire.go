@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"fractos/internal/assert"
 )
 
 // ErrShort is returned when decoding runs past the end of the buffer.
@@ -183,12 +185,11 @@ type Message interface {
 
 var registry = map[Type]func() Message{}
 
-// Register installs a constructor for a message type. It panics on
-// duplicate registration (a programming error caught at init time).
+// Register installs a constructor for a message type. Duplicate
+// registration is a programming error caught at init time.
 func Register(t Type, fn func() Message) {
-	if _, dup := registry[t]; dup {
-		panic(fmt.Sprintf("wire: duplicate registration of type %d", t))
-	}
+	_, dup := registry[t]
+	assert.That(!dup, "wire: duplicate registration of type %d", t)
 	registry[t] = fn
 }
 

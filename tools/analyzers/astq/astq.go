@@ -1,0 +1,102 @@
+// Package astq holds small AST/type query helpers shared by the
+// fractos-vet analyzers.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeName returns the bare name of a call's function: "f" for
+// f(...), "m" for x.m(...). Empty for indirect calls.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// PackageOfCall returns the import path of the package a selector
+// call like pkg.F(...) refers to, or "" if the call is not a direct
+// package-qualified call.
+func PackageOfCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// ReceiverTypeName returns the name of a method's receiver type
+// ("Controller" for func (c *Controller) ...), or "" for plain
+// functions.
+func ReceiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// IsMap reports whether the expression's type is (or aliases) a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsStatusType reports whether t is the wire.Status result type: a
+// named type called "Status" declared in a package named "wire".
+func IsStatusType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Status" && obj.Pkg() != nil && obj.Pkg().Name() == "wire"
+}
+
+// CalledFunc resolves a call to the *types.Func it statically invokes
+// (function or method), or nil for indirect/builtin calls.
+func CalledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package capcheck verifies the capability-validation invariant of
+// the FractOS Controller (§3.5 of the paper): a syscall handler may
+// only dereference the object tree on behalf of a Process after the
+// Process's authority has been established through its capability
+// space.
+//
+// Concretely, inside packages matching internal/core, every method of
+// Controller named handle* (the syscall dispatch targets) that calls
+// an owner-side dereference — resolveOwned, deriveMemLocal,
+// deriveReqLocal, deliverInvoke, revokeLocal, deriveDelegatee — must
+// first (in source order) resolve the caller's capability via
+// resolveEntry, resolveCapSlots, or a capability-space Lookup. A
+// handler that reaches the object tree without consulting the
+// capability space is a confused-deputy bug: it would let a Process
+// act on objects it holds no capability for.
+package capcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"fractos/tools/analyzers/analysis"
+	"fractos/tools/analyzers/astq"
+)
+
+// Analyzer is the capcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "capcheck",
+	Doc:  "syscall handlers must validate capabilities before dereferencing the object tree",
+	Run:  run,
+}
+
+// resolvers establish the calling Process's authority.
+var resolvers = map[string]bool{
+	"resolveEntry":    true,
+	"resolveCapSlots": true,
+	"Lookup":          true, // ps.space.Lookup
+}
+
+// derefs touch the owner's object tree on the Process's behalf.
+var derefs = map[string]bool{
+	"resolveOwned":    true,
+	"deriveMemLocal":  true,
+	"deriveReqLocal":  true,
+	"deliverInvoke":   true,
+	"revokeLocal":     true,
+	"deriveDelegatee": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/core") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "handle") {
+				continue
+			}
+			if astq.ReceiverTypeName(fd) != "Controller" {
+				continue
+			}
+			checkHandler(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkHandler walks the handler body in source order, requiring a
+// resolver call before any dereference call. FuncLit bodies
+// (continuations of inter-Controller calls, spawned sub-tasks) are
+// included: they run strictly after the statements that precede them
+// in the source, so positional ordering remains a sound
+// approximation of execution order for this linear handler style.
+func checkHandler(pass *analysis.Pass, fd *ast.FuncDecl) {
+	firstResolve := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := astq.CalleeName(call)
+		switch {
+		case resolvers[name]:
+			if firstResolve == token.NoPos || call.Pos() < firstResolve {
+				firstResolve = call.Pos()
+			}
+		case derefs[name]:
+			if firstResolve == token.NoPos || call.Pos() < firstResolve {
+				if pass.Suppressed(call.Pos(), "fractos:capcheck-ok") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s dereferences the object tree via %s before any capability validation (resolveEntry/resolveCapSlots/Lookup)",
+					fd.Name.Name, name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package capcheck_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/capcheck"
+)
+
+func TestCapcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", capcheck.Analyzer, "a/internal/core")
+}

@@ -1,0 +1,96 @@
+// Package core is a miniature replica of fractos/internal/core used
+// to exercise the capcheck analyzer: same method-naming conventions,
+// none of the real machinery.
+package core
+
+type Status uint8
+
+const StatusOK Status = 0
+
+type Entry struct{ Rights uint8 }
+
+type Node struct{ ID uint64 }
+
+type Ref struct{ Obj uint64 }
+
+type space struct{}
+
+func (s *space) Lookup(cid uint64) (Entry, bool) { return Entry{}, true }
+
+type procState struct{ space *space }
+
+type msg struct {
+	Token uint64
+	Cid   uint64
+}
+
+// Controller mirrors the real Controller's handler conventions.
+type Controller struct{}
+
+func (c *Controller) resolveEntry(ps *procState, cid uint64) (Entry, Status) {
+	return Entry{}, StatusOK
+}
+
+func (c *Controller) resolveCapSlots(ps *procState, cids []uint64) ([]Entry, Status) {
+	return nil, StatusOK
+}
+
+func (c *Controller) resolveOwned(ref Ref) (*Node, Status) { return nil, StatusOK }
+
+func (c *Controller) revokeLocal(ref Ref) Status { return StatusOK }
+
+func (c *Controller) complete(ps *procState, token uint64, st Status) {}
+
+// handleGood validates the capability before dereferencing: clean.
+func (c *Controller) handleGood(ps *procState, m *msg) {
+	e, st := c.resolveEntry(ps, m.Cid)
+	if st != StatusOK {
+		c.complete(ps, m.Token, st)
+		return
+	}
+	_ = e
+	n, st := c.resolveOwned(Ref{Obj: m.Cid})
+	_, _ = n, st
+	c.complete(ps, m.Token, StatusOK)
+}
+
+// handleLookupGood uses a raw capability-space lookup, which also
+// establishes authority: clean.
+func (c *Controller) handleLookupGood(ps *procState, m *msg) {
+	if _, ok := ps.space.Lookup(m.Cid); !ok {
+		c.complete(ps, m.Token, Status(1))
+		return
+	}
+	st := c.revokeLocal(Ref{Obj: m.Cid})
+	c.complete(ps, m.Token, st)
+}
+
+// handleBad dereferences the tree with no capability check at all.
+func (c *Controller) handleBad(ps *procState, m *msg) {
+	n, st := c.resolveOwned(Ref{Obj: m.Cid}) // want `handleBad dereferences the object tree via resolveOwned before any capability validation`
+	_, _ = n, st
+	c.complete(ps, m.Token, StatusOK)
+}
+
+// handleLate validates only after the dereference: still a bug.
+func (c *Controller) handleLate(ps *procState, m *msg) {
+	st := c.revokeLocal(Ref{Obj: m.Cid}) // want `handleLate dereferences the object tree via revokeLocal before any capability validation`
+	if e, st2 := c.resolveEntry(ps, m.Cid); st2 == StatusOK {
+		_ = e
+	}
+	c.complete(ps, m.Token, st)
+}
+
+// handleSuppressed documents an intentional exception.
+func (c *Controller) handleSuppressed(ps *procState, m *msg) {
+	//fractos:capcheck-ok bootstrap path, authority established by the operator
+	st := c.revokeLocal(Ref{Obj: m.Cid})
+	c.complete(ps, m.Token, st)
+}
+
+// notAHandler is exempt: only handle* methods are syscall entry
+// points.
+func (c *Controller) notAHandler(ref Ref) Status {
+	_, st := c.resolveOwned(ref)
+	return st
+}

@@ -1,0 +1,12 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/epochguard"
+)
+
+func TestEpochguard(t *testing.T) {
+	analysistest.Run(t, "testdata", epochguard.Analyzer, "b/internal/core")
+}

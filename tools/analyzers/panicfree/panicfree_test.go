@@ -1,0 +1,12 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/panicfree"
+)
+
+func TestPanicfree(t *testing.T) {
+	analysistest.Run(t, "testdata", panicfree.Analyzer, "pf")
+}

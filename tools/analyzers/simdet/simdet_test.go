@@ -1,0 +1,12 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, "testdata", simdet.Analyzer, "simdetdata")
+}

@@ -1,0 +1,12 @@
+package statuscheck_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/statuscheck"
+)
+
+func TestStatuscheck(t *testing.T) {
+	analysistest.Run(t, "testdata", statuscheck.Analyzer, "sc/internal/core")
+}

@@ -1,0 +1,145 @@
+// Package core exercises the statuscheck analyzer: dropped wire.Status
+// results (rule 1) and the complete-exactly-once protocol of syscall
+// handlers (rule 2).
+package core
+
+import "wire"
+
+type proc struct{ id uint32 }
+
+// Controller mimics the dispatch surface of the real internal/core.
+type Controller struct{ peers map[uint32]bool }
+
+func (c *Controller) complete(ps *proc, token uint64, st wire.Status) {}
+
+func (c *Controller) call(peer uint32, build func(seq uint64) int, cb func(reply int)) {}
+
+func (c *Controller) Spawn(name string, fn func()) {}
+
+func (c *Controller) resolve(id uint64) (*proc, wire.Status) { return nil, wire.StatusOK }
+
+func (c *Controller) revoke(id uint64) wire.Status { return wire.StatusOK }
+
+// ---- Rule 1: dropped statuses ----
+
+func (c *Controller) drops() {
+	c.revoke(1)          // want `result of revoke returning wire.Status is dropped`
+	_ = c.revoke(2)      // want `result of revoke returning wire.Status is dropped`
+	_, _ = c.resolve(3)  // want `result of resolve returning wire.Status is dropped`
+	p, _ := c.resolve(4) // want `result of resolve returning wire.Status is dropped`
+	_ = p
+
+	//fractos:status-ok best-effort cleanup; failure is acceptable here
+	c.revoke(5)
+
+	if st := c.revoke(6); st != wire.StatusOK {
+		return
+	}
+	if p2, st := c.resolve(7); st == wire.StatusOK {
+		_ = p2
+	}
+}
+
+// ---- Rule 2: complete exactly once per dispatch path ----
+
+// handleGoodBranches completes on both arms.
+func (c *Controller) handleGoodBranches(ps *proc, m *wire.MemCreate) {
+	if m.Bytes == 0 {
+		c.complete(ps, m.Token, wire.StatusPerm)
+		return
+	}
+	c.complete(ps, m.Token, wire.StatusOK)
+}
+
+// handleGoodSwitch completes in every case including default.
+func (c *Controller) handleGoodSwitch(ps *proc, m *wire.MemCreate) {
+	switch m.Bytes {
+	case 0:
+		c.complete(ps, m.Token, wire.StatusPerm)
+	case 1:
+		c.complete(ps, m.Token, wire.StatusOK)
+	default:
+		c.complete(ps, m.Token, wire.StatusOK)
+	}
+}
+
+// handleGoodCall defers completion to the reply continuation, which
+// the pending-call machinery invokes exactly once.
+func (c *Controller) handleGoodCall(ps *proc, m *wire.MemCreate) {
+	c.call(2, func(seq uint64) int { return int(seq) }, func(reply int) {
+		c.complete(ps, m.Token, wire.StatusOK)
+	})
+}
+
+// handleGoodSpawn hands completion to a spawned task that runs a
+// same-package helper completing exactly once.
+func (c *Controller) handleGoodSpawn(ps *proc, m *wire.MemCreate) {
+	c.Spawn("copy", func() {
+		c.runCopy(ps, m.Token)
+	})
+}
+
+func (c *Controller) runCopy(ps *proc, token uint64) {
+	if token == 0 {
+		c.complete(ps, token, wire.StatusPerm)
+		return
+	}
+	c.complete(ps, token, wire.StatusOK)
+}
+
+// handleDone owes no completion: DeliverDone carries no Token.
+func (c *Controller) handleDone(ps *proc, m *wire.DeliverDone) {
+	_ = m.Seq
+}
+
+//fractos:status-ok completion happens in the fabric layer for this op
+func (c *Controller) handleWaived(ps *proc, m *wire.MemCreate) {
+	_ = m.Token
+}
+
+// handleBadMissing forgets to complete on the fall-through path.
+func (c *Controller) handleBadMissing(ps *proc, m *wire.MemCreate) { // want `handleBadMissing can fall off the end having completed 0 times`
+	if m.Bytes == 0 {
+		c.complete(ps, m.Token, wire.StatusPerm)
+		return
+	}
+}
+
+// handleBadDouble completes twice on the straight-line path.
+func (c *Controller) handleBadDouble(ps *proc, m *wire.MemCreate) { // want `handleBadDouble can fall off the end having completed 2\+ times`
+	c.complete(ps, m.Token, wire.StatusOK)
+	c.complete(ps, m.Token, wire.StatusOK)
+}
+
+// handleBadReturn returns early without completing.
+func (c *Controller) handleBadReturn(ps *proc, m *wire.MemCreate) {
+	if m.Bytes == 0 {
+		return // want `this return path has completed 0 times`
+	}
+	c.complete(ps, m.Token, wire.StatusOK)
+}
+
+// handleBadLoop may complete zero or many times across iterations.
+func (c *Controller) handleBadLoop(ps *proc, m *wire.MemCreate) {
+	for i := uint64(0); i < m.Bytes; i++ { // want `completion inside a loop may run zero or many times`
+		if i == m.Token {
+			c.complete(ps, m.Token, wire.StatusOK)
+		}
+	}
+}
+
+// handleGoodLoop completes after the loop; the loop body only
+// accumulates, so it is fine.
+func (c *Controller) handleGoodLoop(ps *proc, m *wire.MemCreate) {
+	total := uint64(0)
+	for i := uint64(0); i < m.Bytes; i++ {
+		total += i
+	}
+	c.complete(ps, m.Token, wire.StatusOK)
+	_ = total
+}
+
+// handleBadDefer hides the completion in a defer.
+func (c *Controller) handleBadDefer(ps *proc, m *wire.MemCreate) {
+	defer c.complete(ps, m.Token, wire.StatusOK) // want `completion inside defer is not analyzable`
+}

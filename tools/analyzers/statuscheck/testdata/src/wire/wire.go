@@ -1,0 +1,24 @@
+// Package wire mirrors the repo's message/status vocabulary for the
+// statuscheck testdata.
+package wire
+
+// Status is the syscall/peer outcome code.
+type Status uint8
+
+// Status values.
+const (
+	StatusOK Status = iota
+	StatusPerm
+)
+
+// MemCreate is a syscall message carrying a completion Token: the
+// handler owes the issuing process exactly one complete().
+type MemCreate struct {
+	Token uint64
+	Bytes uint64
+}
+
+// DeliverDone is a notification message with no completion owed.
+type DeliverDone struct {
+	Seq uint64
+}
