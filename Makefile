@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench eval trace examples clean
+.PHONY: all build vet lint test race bench bench-json eval trace examples clean
 
 all: build vet lint test
 
@@ -26,6 +26,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the wall-clock perf suite (internal/perf) and writes
+# the machine-readable report tracked across PRs; see
+# docs/PERFORMANCE.md for the methodology and how to compare runs.
+bench-json:
+	$(GO) run ./cmd/fractos-bench -json > BENCH_PR2.json
 
 # Regenerate every table and figure of the paper's evaluation.
 eval:

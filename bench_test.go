@@ -4,13 +4,37 @@
 // speed, not system performance; the paper-relevant results are
 // emitted as custom metrics (vus = virtual microseconds, MB/s, req/s)
 // and as the text tables printed by cmd/fractos-bench.
+//
+// Every benchmark also reports allocs/op (ReportAllocs) and the
+// wall-clock simulation throughput in events/sec, so `go test -bench`
+// doubles as a regression gate for the simulator's own speed (see
+// docs/PERFORMANCE.md for the methodology and benchstat workflow).
 package main
 
 import (
 	"testing"
 
 	"fractos/internal/exp"
+	"fractos/internal/sim"
 )
+
+// runExp drives one experiment through the benchmark loop, reporting
+// allocations and the wall-clock event throughput (kernel events
+// processed per second of host time) alongside the virtual-time
+// metrics. The returned table is from the final iteration.
+func runExp(b *testing.B, fn func() *exp.Table) *exp.Table {
+	b.Helper()
+	b.ReportAllocs()
+	var t *exp.Table
+	e0 := sim.TotalEvents()
+	for i := 0; i < b.N; i++ {
+		t = fn()
+	}
+	if d := b.Elapsed(); d > 0 {
+		b.ReportMetric(float64(sim.TotalEvents()-e0)/d.Seconds(), "events/sec")
+	}
+	return t
+}
 
 // reportMetrics forwards an experiment's headline metrics through the
 // benchmark framework.
@@ -27,10 +51,7 @@ func reportMetrics(b *testing.B, t *exp.Table, metrics map[string]string) {
 
 // BenchmarkTable3NullOp regenerates Table 3 (null-operation latency).
 func BenchmarkTable3NullOp(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Table3()
-	}
+	t := runExp(b, exp.Table3)
 	reportMetrics(b, t, map[string]string{
 		"table3.null-cpu-us":  "vus-cpu",
 		"table3.null-snic-us": "vus-snic",
@@ -39,10 +60,7 @@ func BenchmarkTable3NullOp(b *testing.B) {
 
 // BenchmarkFigure2Traffic regenerates the Figure 2 traffic analysis.
 func BenchmarkFigure2Traffic(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure2()
-	}
+	t := runExp(b, exp.Figure2)
 	reportMetrics(b, t, map[string]string{
 		"fig2.bytes-reduction":   "x-bytes",
 		"fig2.datamsg-reduction": "x-datamsgs",
@@ -52,10 +70,7 @@ func BenchmarkFigure2Traffic(b *testing.B) {
 // BenchmarkFigure5MemoryCopy regenerates Figure 5 (memory_copy
 // throughput vs size).
 func BenchmarkFigure5MemoryCopy(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure5()
-	}
+	t := runExp(b, exp.Figure5)
 	reportMetrics(b, t, map[string]string{
 		"fig5.copy1b-cpu-us":     "vus-1B-cpu",
 		"fig5.copy256k-cpu-mbps": "MBps-256K",
@@ -64,10 +79,7 @@ func BenchmarkFigure5MemoryCopy(b *testing.B) {
 
 // BenchmarkFigure6Invoke regenerates Figure 6 (RPC latency).
 func BenchmarkFigure6Invoke(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure6()
-	}
+	t := runExp(b, exp.Figure6)
 	reportMetrics(b, t, map[string]string{
 		"fig6.rpc8-cpu1x-us": "vus-1x",
 		"fig6.rpc8-cpu2x-us": "vus-2x",
@@ -76,10 +88,7 @@ func BenchmarkFigure6Invoke(b *testing.B) {
 
 // BenchmarkFigure7Caps regenerates Figure 7 (delegation/revocation).
 func BenchmarkFigure7Caps(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure7()
-	}
+	t := runExp(b, exp.Figure7)
 	reportMetrics(b, t, map[string]string{
 		"fig7.deleg1-cpu-us":         "vus-deleg",
 		"fig7.revoke8-shared-us":     "vus-revoke-shared",
@@ -90,10 +99,7 @@ func BenchmarkFigure7Caps(b *testing.B) {
 // BenchmarkFigure8Pipeline regenerates Figure 8 (star / fast-star /
 // chain composition).
 func BenchmarkFigure8Pipeline(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure8()
-	}
+	t := runExp(b, exp.Figure8)
 	reportMetrics(b, t, map[string]string{
 		"fig8.star-over-fast-64k": "x-64K",
 		"fig8.fast-over-chain-4k": "x-4K",
@@ -102,10 +108,7 @@ func BenchmarkFigure8Pipeline(b *testing.B) {
 
 // BenchmarkFigure9GPU regenerates Figure 9 (GPU service vs rCUDA).
 func BenchmarkFigure9GPU(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure9()
-	}
+	t := runExp(b, exp.Figure9)
 	reportMetrics(b, t, map[string]string{
 		"fig9.lat64-rcuda-over-fractos": "x-latency",
 		"fig9.tput4-fractos":            "reqps",
@@ -114,10 +117,7 @@ func BenchmarkFigure9GPU(b *testing.B) {
 
 // BenchmarkFigure10Storage regenerates Figure 10 (storage latency).
 func BenchmarkFigure10Storage(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure10()
-	}
+	t := runExp(b, exp.Figure10)
 	reportMetrics(b, t, map[string]string{
 		"fig10.read4k-dax-us":        "vus-dax-4k",
 		"fig10.read256K-dax-speedup": "x-dax-256K",
@@ -127,10 +127,7 @@ func BenchmarkFigure10Storage(b *testing.B) {
 // BenchmarkFigure11StorageTput regenerates Figure 11 (storage
 // throughput).
 func BenchmarkFigure11StorageTput(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure11()
-	}
+	t := runExp(b, exp.Figure11)
 	reportMetrics(b, t, map[string]string{
 		"fig11.rand-dax-mbps": "MBps-dax",
 		"fig11.rand-fs-mbps":  "MBps-fs",
@@ -140,10 +137,7 @@ func BenchmarkFigure11StorageTput(b *testing.B) {
 // BenchmarkFigure12E2ELatency regenerates Figure 12 (end-to-end
 // latency; the paper's 47% headline).
 func BenchmarkFigure12E2ELatency(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure12()
-	}
+	t := runExp(b, exp.Figure12)
 	reportMetrics(b, t, map[string]string{
 		"fig12.speedup32":        "x-speedup",
 		"fig12.lat32-fractos-ms": "vms-fractos",
@@ -153,10 +147,7 @@ func BenchmarkFigure12E2ELatency(b *testing.B) {
 // BenchmarkFigure13E2ETput regenerates Figure 13 (end-to-end
 // throughput).
 func BenchmarkFigure13E2ETput(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.Figure13()
-	}
+	t := runExp(b, exp.Figure13)
 	reportMetrics(b, t, map[string]string{
 		"fig13.tput4-fractos":  "reqps",
 		"fig13.tput4-baseline": "reqps-base",
@@ -166,10 +157,7 @@ func BenchmarkFigure13E2ETput(b *testing.B) {
 // BenchmarkAblationDirect measures the mediated/composed/leased
 // storage-interface ablation.
 func BenchmarkAblationDirect(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationDirectComposition()
-	}
+	t := runExp(b, exp.AblationDirectComposition)
 	reportMetrics(b, t, map[string]string{
 		"abl-direct.fs-us":     "vus-fs",
 		"abl-direct.direct-us": "vus-direct",
@@ -179,20 +167,14 @@ func BenchmarkAblationDirect(b *testing.B) {
 
 // BenchmarkAblationDoubleBuffer measures the double-buffering ablation.
 func BenchmarkAblationDoubleBuffer(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationDoubleBuffer()
-	}
+	t := runExp(b, exp.AblationDoubleBuffer)
 	reportMetrics(b, t, map[string]string{"abl-dbuf.gain-1m": "x-gain"})
 }
 
 // BenchmarkAblationConcurrentCopies measures §6.1's concurrent-copy
 // saturation.
 func BenchmarkAblationConcurrentCopies(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationConcurrentCopies()
-	}
+	t := runExp(b, exp.AblationConcurrentCopies)
 	reportMetrics(b, t, map[string]string{
 		"abl-conc-copy.cpu4k-1":  "MBps-1",
 		"abl-conc-copy.cpu4k-16": "MBps-16",
@@ -201,10 +183,7 @@ func BenchmarkAblationConcurrentCopies(b *testing.B) {
 
 // BenchmarkAblationMessageComplexity measures §2.1's message counts.
 func BenchmarkAblationMessageComplexity(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationMessageComplexity()
-	}
+	t := runExp(b, exp.AblationMessageComplexity)
 	reportMetrics(b, t, map[string]string{
 		"abl-msgs.ratio8": "x-star-over-chain",
 	})
@@ -212,10 +191,7 @@ func BenchmarkAblationMessageComplexity(b *testing.B) {
 
 // BenchmarkAblationWindow measures the congestion-window ablation.
 func BenchmarkAblationWindow(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationWindow()
-	}
+	t := runExp(b, exp.AblationWindow)
 	reportMetrics(b, t, map[string]string{
 		"abl-window.w1":  "rpcps-w1",
 		"abl-window.w32": "rpcps-w32",
@@ -224,18 +200,12 @@ func BenchmarkAblationWindow(b *testing.B) {
 
 // BenchmarkAblationRevtreeDepth measures deep-tree revocation.
 func BenchmarkAblationRevtreeDepth(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationRevtreeDepth()
-	}
+	t := runExp(b, exp.AblationRevtreeDepth)
 	reportMetrics(b, t, map[string]string{"abl-revtree.d256-us": "vus-d256"})
 }
 
 // BenchmarkAblationPlacement measures controller-placement costs.
 func BenchmarkAblationPlacement(b *testing.B) {
-	var t *exp.Table
-	for i := 0; i < b.N; i++ {
-		t = exp.AblationPlacement()
-	}
+	t := runExp(b, exp.AblationPlacement)
 	reportMetrics(b, t, map[string]string{"abl-placement.shared-null-us": "vus-shared"})
 }

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	fractos-bench            # run everything
-//	fractos-bench -list      # list experiment ids
-//	fractos-bench -run fig5  # run one experiment
+//	fractos-bench               # run everything
+//	fractos-bench -list         # list experiment ids
+//	fractos-bench -run fig5     # run one experiment
+//	fractos-bench -json         # run the perf suite, emit JSON (BENCH_PR2.json)
+//	fractos-bench -bench kernel/dispatch  # run one perf benchmark (text)
 package main
 
 import (
@@ -14,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"fractos/internal/exp"
+	"fractos/internal/perf"
 )
 
 var csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
@@ -24,12 +28,22 @@ var csvDir = flag.String("csv", "", "also write each table as CSV into this dire
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "run a single experiment by id")
+	jsonOut := flag.Bool("json", false, "run the wall-clock perf suite and emit JSON to stdout")
+	bench := flag.String("bench", "", "run only the named perf benchmarks (comma-separated; implies the perf suite, text output unless -json)")
 	flag.Parse()
 
 	if *list {
 		for _, s := range exp.All() {
 			fmt.Printf("%-14s %s\n", s.ID, s.Title)
 		}
+		fmt.Println()
+		for _, c := range perf.Cases() {
+			fmt.Printf("%-20s (perf benchmark; -bench/-json)\n", c.Name)
+		}
+		return
+	}
+	if *jsonOut || *bench != "" {
+		runPerf(*jsonOut, *bench)
 		return
 	}
 	if *run != "" {
@@ -45,6 +59,36 @@ func main() {
 	for _, s := range exp.All() {
 		runOne(s)
 	}
+}
+
+// runPerf runs the wall-clock benchmark suite (internal/perf) and
+// writes either the JSON report consumed by CI and the BENCH_PR*.json
+// trajectory files, or an aligned text table.
+func runPerf(jsonOut bool, names string) {
+	var only []string
+	if names != "" {
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				only = append(only, n)
+			}
+		}
+	}
+	if !jsonOut {
+		fmt.Fprintln(os.Stderr, "fractos-bench: running wall-clock perf suite (~1s per benchmark)")
+	}
+	results, err := perf.RunAll(only...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractos-bench:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		if err := perf.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "fractos-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	perf.WriteText(os.Stdout, results)
 }
 
 func runOne(s exp.Spec) {

@@ -88,7 +88,12 @@ func New(k *sim.Kernel, net *fabric.Net, id cap.ControllerID, cfg Config) *Contr
 		pending:    make(map[uint64]pendingCall),
 		bounceSem:  sim.NewSemaphore(cfg.BouncePairs),
 	}
-	for i := 0; i < cfg.BouncePairs*2; i++ {
+	// Descending order: popBounce takes from the end, so chunks are
+	// handed out lowest-offset first and a lightly loaded Controller
+	// keeps reusing the front of its bounce arena. Combined with the
+	// fabric's prefix-lazy arena materialization this keeps the 256 KiB
+	// bounce pool's memory cost proportional to actual copy concurrency.
+	for i := cfg.BouncePairs*2 - 1; i >= 0; i-- {
 		c.bounceFree = append(c.bounceFree, i*cfg.BounceChunk)
 	}
 	return c
@@ -534,7 +539,14 @@ func sortedSlots(caps map[uint16]capArg) []uint16 {
 	for s := range caps {
 		slots = append(slots, s)
 	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	// Insertion sort: requests carry a handful of slots at most, and
+	// this avoids the sort.Slice closure allocation on the per-invoke
+	// path.
+	for i := 1; i < len(slots); i++ {
+		for j := i; j > 0 && slots[j] < slots[j-1]; j-- {
+			slots[j], slots[j-1] = slots[j-1], slots[j]
+		}
+	}
 	return slots
 }
 

@@ -67,7 +67,7 @@ func (c *Controller) Footprint() Footprint {
 		ProcQueueBytes: int64(len(c.procs)) * procQueueBudget,
 		PeerQueueBytes: int64(len(c.peers)) * peerQueueBudget,
 		CapSpaceBytes:  int64(entries) * capEntryBytes,
-		BounceBytes:    int64(len(c.ep.Arena())),
+		BounceBytes:    int64(c.ep.ArenaSize()),
 		ObjectBytes:    int64(c.tree.Len()) * revObjectBytes,
 	}
 }

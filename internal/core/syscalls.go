@@ -8,8 +8,7 @@ import (
 // handleMemCreate registers part of the Process's arena as a Memory
 // object (memory_create).
 func (c *Controller) handleMemCreate(ps *procState, m *wire.MemCreate) {
-	arena := ps.ep.Arena()
-	if m.Size == 0 || m.Base+m.Size > uint64(len(arena)) {
+	if m.Size == 0 || m.Base+m.Size > uint64(ps.ep.ArenaSize()) {
 		c.complete(ps, m.Token, wire.StatusBounds, cap.NilCap, 0)
 		return
 	}

@@ -121,14 +121,59 @@ type Endpoint struct {
 	Loc   Location
 	Inbox *sim.Chan[Delivery]
 
+	// arena is materialized lazily on first byte access: many endpoints
+	// (notably per-cluster controller bounce arenas in the evaluation
+	// sweeps) register large arenas that are never touched, and the
+	// registration size alone drives the timing model. arenaSize is the
+	// registered size; arena stays nil until Arena() is called.
 	arena        []byte
+	arenaSize    int
 	disconnected bool
 }
 
-// Arena returns the endpoint's registered memory. Local code (the
-// owning Process) accesses it directly; remote access goes through the
-// RDMA primitives.
-func (e *Endpoint) Arena() []byte { return e.arena }
+// Arena returns the endpoint's registered memory, materializing the
+// full backing storage on first use. Local code (the owning Process)
+// accesses it directly; remote access goes through the RDMA
+// primitives. Once Arena has been called the backing store is final:
+// retained slices stay valid and all later RDMA traffic lands in them.
+func (e *Endpoint) Arena() []byte {
+	if len(e.arena) < e.arenaSize {
+		nb := make([]byte, e.arenaSize)
+		copy(nb, e.arena)
+		e.arena = nb
+	}
+	return e.arena
+}
+
+// arenaRange returns the arena bytes [off, off+n), materializing only
+// enough backing storage (a prefix, grown geometrically) to cover the
+// range. The fabric's RDMA copy path uses this so endpoints whose
+// arenas are touched purely through RDMA — Controller bounce pools
+// above all — pay for the bytes they actually use, not the registered
+// size. Callers must not retain the returned slice across other arena
+// operations: a later growth re-allocates the backing store (growth
+// can no longer happen once Arena() has materialized the full size,
+// which is why externally retained Arena() slices stay safe).
+func (e *Endpoint) arenaRange(off, n int) []byte {
+	if need := off + n; need > len(e.arena) {
+		newLen := 2 * len(e.arena)
+		if newLen < need {
+			newLen = need
+		}
+		if newLen > e.arenaSize {
+			newLen = e.arenaSize
+		}
+		nb := make([]byte, newLen)
+		copy(nb, e.arena)
+		e.arena = nb
+	}
+	return e.arena[off : off+n]
+}
+
+// ArenaSize returns the registered arena size without materializing
+// the backing storage. Bounds checks and capacity accounting should
+// use this instead of len(Arena()).
+func (e *Endpoint) ArenaSize() int { return e.arenaSize }
 
 // Stats are the fabric's cumulative traffic counters, split by
 // message class.
@@ -206,28 +251,34 @@ func (l *link) reserve(now sim.Time, n int) sim.Time {
 	return l.busyUntil
 }
 
+// nodeLinks bundles a node's three transmission resources: switch
+// uplink (tx), switch downlink (rx), and the local/PCIe path. Stored
+// by value in a slice indexed by node so the hot send path does no
+// map lookups and no per-link pointer chasing.
+type nodeLinks struct {
+	up, dn, loc link
+	valid       bool
+}
+
 // Net is the simulated fabric.
 type Net struct {
-	k       *sim.Kernel
-	prof    Profile
-	eps     map[EndpointID]*Endpoint
-	nextID  EndpointID
-	stats   Stats
-	trace   func(TraceEvent)
-	uplinks map[int]*link // per-node switch uplink (tx)
-	dnlinks map[int]*link // per-node switch downlink (rx)
-	loclink map[int]*link // per-node local/PCIe path
+	k    *sim.Kernel
+	prof Profile
+	// eps is indexed by EndpointID; IDs are assigned sequentially from 1
+	// so index 0 stays nil. A slice keeps the two endpoint resolutions on
+	// the per-message send path branch-predictable and map-free.
+	eps   []*Endpoint
+	stats Stats
+	trace func(TraceEvent)
+	links []nodeLinks // indexed by node number
 }
 
 // New creates a fabric over the given kernel with profile p.
 func New(k *sim.Kernel, p Profile) *Net {
 	return &Net{
-		k:       k,
-		prof:    p,
-		eps:     make(map[EndpointID]*Endpoint),
-		uplinks: make(map[int]*link),
-		dnlinks: make(map[int]*link),
-		loclink: make(map[int]*link),
+		k:    k,
+		prof: p,
+		eps:  make([]*Endpoint, 1), // index 0 unused; IDs start at 1
 	}
 }
 
@@ -249,39 +300,49 @@ func (n *Net) ResetStats() { n.stats = Stats{} }
 // Attach registers an endpoint at loc with an arena of arenaSize
 // bytes (0 for none).
 func (n *Net) Attach(name string, loc Location, arenaSize int) *Endpoint {
-	n.nextID++
 	e := &Endpoint{
-		ID:    n.nextID,
+		ID:    EndpointID(len(n.eps)),
 		Name:  name,
 		Loc:   loc,
 		Inbox: sim.NewChan[Delivery](n.k, name+".inbox", 0),
 	}
-	if arenaSize > 0 {
-		e.arena = make([]byte, arenaSize)
-	}
-	n.eps[e.ID] = e
+	e.arenaSize = arenaSize
+	n.eps = append(n.eps, e)
 	n.ensureLinks(loc.Node)
 	return e
 }
 
 func (n *Net) ensureLinks(node int) {
-	if _, ok := n.uplinks[node]; !ok {
-		n.uplinks[node] = &link{bw: n.prof.WireBW}
-		n.dnlinks[node] = &link{bw: n.prof.WireBW}
-		n.loclink[node] = &link{bw: n.prof.LocalBW}
+	for len(n.links) <= node {
+		n.links = append(n.links, nodeLinks{})
 	}
+	l := &n.links[node]
+	if !l.valid {
+		l.up = link{bw: n.prof.WireBW}
+		l.dn = link{bw: n.prof.WireBW}
+		l.loc = link{bw: n.prof.LocalBW}
+		l.valid = true
+	}
+}
+
+// lookup resolves an id to its endpoint, or nil if unknown.
+func (n *Net) lookup(id EndpointID) *Endpoint {
+	if int(id) < len(n.eps) {
+		return n.eps[id] // index 0 is nil, so id 0 resolves to unknown
+	}
+	return nil
 }
 
 // Lookup returns the endpoint with the given id.
 func (n *Net) Lookup(id EndpointID) (*Endpoint, bool) {
-	e, ok := n.eps[id]
-	return e, ok
+	e := n.lookup(id)
+	return e, e != nil
 }
 
 // Disconnect severs an endpoint: subsequent sends to or from it are
 // dropped. Used for failure injection.
 func (n *Net) Disconnect(id EndpointID) {
-	if e, ok := n.eps[id]; ok {
+	if e := n.lookup(id); e != nil {
 		e.disconnected = true
 	}
 }
@@ -289,7 +350,7 @@ func (n *Net) Disconnect(id EndpointID) {
 // Reconnect re-attaches a severed endpoint (e.g. a rebooted
 // Controller).
 func (n *Net) Reconnect(id EndpointID) {
-	if e, ok := n.eps[id]; ok {
+	if e := n.lookup(id); e != nil {
 		e.disconnected = false
 	}
 }
@@ -326,12 +387,12 @@ func (n *Net) transferTime(now sim.Time, src, dst Location, nBytes int) sim.Time
 	lat := n.prof.exit(src.Domain) + n.prof.entry(dst.Domain)
 	if src.Node == dst.Node {
 		lat += n.prof.NICTurn
-		done := n.loclink[src.Node].reserve(now, nBytes)
+		done := n.links[src.Node].loc.reserve(now, nBytes)
 		return done + lat
 	}
 	lat += n.prof.CrossNode
-	up := n.uplinks[src.Node].reserve(now, nBytes)
-	down := n.dnlinks[dst.Node].reserve(up, 0) // rx link rarely the bottleneck for distinct nodes
+	up := n.links[src.Node].up.reserve(now, nBytes)
+	down := n.links[dst.Node].dn.reserve(up, 0) // rx link rarely the bottleneck for distinct nodes
 	_ = down
 	return up + lat
 }
@@ -341,32 +402,42 @@ func (n *Net) transferTime(now sim.Time, src, dst Location, nBytes int) sim.Time
 // reports false if either endpoint is unknown or disconnected (the
 // message is dropped, as on a severed channel).
 func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
-	src, ok1 := n.eps[from]
-	dst, ok2 := n.eps[to]
-	if !ok1 || !ok2 || src.disconnected || dst.disconnected {
+	src := n.lookup(from)
+	dst := n.lookup(to)
+	if src == nil || dst == nil || src.disconnected || dst.disconnected {
 		return false
 	}
-	buf := wire.Marshal(m)
+	// Encode into a pooled frame buffer and decode eagerly. Unmarshal
+	// copies every variable-length payload, so the decoded message never
+	// aliases the frame and the buffer can return to the pool before the
+	// delivery is even scheduled. The delivery closure then captures only
+	// the decoded message — no per-send frame allocation survives.
+	w := wire.GetWriter(wire.SizeOf(m))
+	wire.MarshalTo(w, m)
+	frame := w.Bytes()
+	nBytes := len(frame)
+	decoded, derr := wire.Unmarshal(frame)
+	w.Release()
 	now := n.k.Now()
-	done := n.transferTime(now, src.Loc, dst.Loc, len(buf))
+	done := n.transferTime(now, src.Loc, dst.Loc, nBytes)
 	cross := src.Loc.Node != dst.Loc.Node
-	n.account(m.Class(), len(buf), cross, false)
+	n.account(m.Class(), nBytes, cross, false)
 	if n.trace != nil {
-		n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: len(buf), Class: m.Class()})
+		n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: nBytes, Class: m.Class()})
+	}
+	if derr != nil {
+		// An undecodable frame is treated like line corruption: the
+		// fabric accounts the bytes on the wire but drops the frame
+		// instead of tearing down the simulation. Upper layers already
+		// tolerate loss — pending calls unwind through the peer-failure
+		// path (failure as revocation).
+		return true
 	}
 	n.k.After(done-now, func() {
 		if dst.disconnected {
 			return
 		}
-		decoded, err := wire.Unmarshal(buf)
-		if err != nil {
-			// An undecodable frame is treated like line corruption: the
-			// fabric drops it instead of tearing down the simulation.
-			// Upper layers already tolerate loss — pending calls unwind
-			// through the peer-failure path (failure as revocation).
-			return
-		}
-		dst.Inbox.TrySend(Delivery{From: from, Msg: decoded, Bytes: len(buf)})
+		dst.Inbox.TrySend(Delivery{From: from, Msg: decoded, Bytes: nBytes})
 	})
 	return true
 }
@@ -387,10 +458,10 @@ func (n *Net) rdmaTransfer(initiator, srcEp, dstEp *Endpoint, srcOff, dstOff, nB
 	if srcEp.disconnected || dstEp.disconnected || initiator.disconnected {
 		return 0, fmt.Errorf("fabric: endpoint disconnected")
 	}
-	if srcOff < 0 || srcOff+nBytes > len(srcEp.arena) {
+	if srcOff < 0 || srcOff+nBytes > srcEp.arenaSize {
 		return 0, fmt.Errorf("fabric: source range [%d,%d) outside arena of %s", srcOff, srcOff+nBytes, srcEp.Name)
 	}
-	if dstOff < 0 || dstOff+nBytes > len(dstEp.arena) {
+	if dstOff < 0 || dstOff+nBytes > dstEp.arenaSize {
 		return 0, fmt.Errorf("fabric: dest range [%d,%d) outside arena of %s", dstOff, dstOff+nBytes, dstEp.Name)
 	}
 	now := n.k.Now()
@@ -403,17 +474,19 @@ func (n *Net) rdmaTransfer(initiator, srcEp, dstEp *Endpoint, srcOff, dstOff, nB
 	// Data leg.
 	var done sim.Time
 	if srcEp.Loc.Node == dstEp.Loc.Node {
-		done = n.loclink[srcEp.Loc.Node].reserve(now+lat, nBytes)
+		done = n.links[srcEp.Loc.Node].loc.reserve(now+lat, nBytes)
 		done += n.prof.RDMARemote + n.prof.RDMARemote
 	} else {
-		done = n.uplinks[srcEp.Loc.Node].reserve(now+lat, nBytes)
-		n.dnlinks[dstEp.Loc.Node].reserve(done, 0)
+		done = n.links[srcEp.Loc.Node].up.reserve(now+lat, nBytes)
+		n.links[dstEp.Loc.Node].dn.reserve(done, 0)
 		done += n.prof.CrossNode + n.prof.RDMARemote + n.prof.RDMARemote
 	}
 	// Completion notification back to the initiator.
 	done += n.prof.entry(initiator.Loc.Domain)
 
-	copy(dstEp.arena[dstOff:dstOff+nBytes], srcEp.arena[srcOff:srcOff+nBytes])
+	if nBytes > 0 {
+		copy(dstEp.arenaRange(dstOff, nBytes), srcEp.arenaRange(srcOff, nBytes))
+	}
 	cross := srcEp.Loc.Node != dstEp.Loc.Node
 	n.account(wire.Data, nBytes, cross, true)
 	if n.trace != nil {
@@ -427,9 +500,9 @@ func (n *Net) rdmaTransfer(initiator, srcEp, dstEp *Endpoint, srcOff, dstOff, nB
 // resolves at the modeled completion time.
 func (n *Net) RDMARead(initiator EndpointID, localOff int, remote EndpointID, remoteOff, nBytes int) *sim.Future[int] {
 	f := sim.NewFuture[int](n.k)
-	ini, ok1 := n.eps[initiator]
-	rem, ok2 := n.eps[remote]
-	if !ok1 || !ok2 {
+	ini := n.lookup(initiator)
+	rem := n.lookup(remote)
+	if ini == nil || rem == nil {
 		f.Fail(fmt.Errorf("fabric: unknown endpoint"))
 		return f
 	}
@@ -446,9 +519,9 @@ func (n *Net) RDMARead(initiator EndpointID, localOff int, remote EndpointID, re
 // at localOff into remote's arena at remoteOff.
 func (n *Net) RDMAWrite(initiator EndpointID, localOff int, remote EndpointID, remoteOff, nBytes int) *sim.Future[int] {
 	f := sim.NewFuture[int](n.k)
-	ini, ok1 := n.eps[initiator]
-	rem, ok2 := n.eps[remote]
-	if !ok1 || !ok2 {
+	ini := n.lookup(initiator)
+	rem := n.lookup(remote)
+	if ini == nil || rem == nil {
 		f.Fail(fmt.Errorf("fabric: unknown endpoint"))
 		return f
 	}
@@ -466,10 +539,10 @@ func (n *Net) RDMAWrite(initiator EndpointID, localOff int, remote EndpointID, r
 // hardware support the paper models but the testbed NICs lack).
 func (n *Net) RDMACopy(initiator EndpointID, src EndpointID, srcOff int, dst EndpointID, dstOff, nBytes int) *sim.Future[int] {
 	f := sim.NewFuture[int](n.k)
-	ini, ok0 := n.eps[initiator]
-	se, ok1 := n.eps[src]
-	de, ok2 := n.eps[dst]
-	if !ok0 || !ok1 || !ok2 {
+	ini := n.lookup(initiator)
+	se := n.lookup(src)
+	de := n.lookup(dst)
+	if ini == nil || se == nil || de == nil {
 		f.Fail(fmt.Errorf("fabric: unknown endpoint"))
 		return f
 	}

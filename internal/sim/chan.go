@@ -18,6 +18,15 @@ type Chan[T any] struct {
 	sendq  []*sendWaiter[T]
 	recvq  []*recvWaiter[T]
 	closed bool
+
+	// freeRecv/freeSend recycle waiter structs across blocking
+	// operations on this channel. Only waiters from plain Send/Recv are
+	// recycled: a RecvTimeout waiter may still be referenced by its
+	// pending timer closure after the receive completes, so those are
+	// always freshly allocated. Reuse is deterministic — waiter identity
+	// is never observed, and contents are fully reset on reuse.
+	freeRecv []*recvWaiter[T]
+	freeSend []*sendWaiter[T]
 }
 
 type sendWaiter[T any] struct {
@@ -37,6 +46,46 @@ type recvWaiter[T any] struct {
 // NewChan creates a channel. capacity 0 means unbounded.
 func NewChan[T any](k *Kernel, name string, capacity int) *Chan[T] {
 	return &Chan[T]{k: k, name: name, capa: capacity}
+}
+
+// getRecv returns a recycled (or new) receive waiter for t.
+func (c *Chan[T]) getRecv(t *Task) *recvWaiter[T] {
+	if n := len(c.freeRecv); n > 0 {
+		rw := c.freeRecv[n-1]
+		c.freeRecv = c.freeRecv[:n-1]
+		*rw = recvWaiter[T]{t: t}
+		return rw
+	}
+	return &recvWaiter[T]{t: t}
+}
+
+// putRecv recycles a waiter whose wait has fully completed. The caller
+// must guarantee no other reference to rw survives (true for plain
+// Recv: the waker removes it from recvq before the task resumes).
+func (c *Chan[T]) putRecv(rw *recvWaiter[T]) {
+	var zero T
+	rw.v = zero
+	rw.t = nil
+	c.freeRecv = append(c.freeRecv, rw)
+}
+
+// getSend returns a recycled (or new) send waiter carrying v.
+func (c *Chan[T]) getSend(t *Task, v T) *sendWaiter[T] {
+	if n := len(c.freeSend); n > 0 {
+		sw := c.freeSend[n-1]
+		c.freeSend = c.freeSend[:n-1]
+		*sw = sendWaiter[T]{t: t, v: v}
+		return sw
+	}
+	return &sendWaiter[T]{t: t, v: v}
+}
+
+// putSend recycles a send waiter whose wait has fully completed.
+func (c *Chan[T]) putSend(sw *sendWaiter[T]) {
+	var zero T
+	sw.v = zero
+	sw.t = nil
+	c.freeSend = append(c.freeSend, sw)
 }
 
 // Len reports how many values are buffered.
@@ -85,10 +134,12 @@ func (c *Chan[T]) Send(t *Task, v T) {
 		return
 	}
 	// Bounded and full: block.
-	sw := &sendWaiter[T]{t: t, v: v}
+	sw := c.getSend(t, v)
 	c.sendq = append(c.sendq, sw)
 	t.park()
-	assert.That(sw.ok, "sim: send on closed channel %s", c.name)
+	ok := sw.ok
+	c.putSend(sw)
+	assert.That(ok, "sim: send on closed channel %s", c.name)
 }
 
 // TrySend delivers v without blocking. It reports false if a bounded
@@ -121,10 +172,12 @@ func (c *Chan[T]) Recv(t *Task) (v T, ok bool) {
 		var zero T
 		return zero, false
 	}
-	rw := &recvWaiter[T]{t: t}
+	rw := c.getRecv(t)
 	c.recvq = append(c.recvq, rw)
 	t.park()
-	return rw.v, rw.ok
+	v, ok = rw.v, rw.ok
+	c.putRecv(rw)
+	return v, ok
 }
 
 // TryRecv receives without blocking; ok is false if nothing was

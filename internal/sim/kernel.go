@@ -8,14 +8,35 @@
 //
 // Two runs of the same program over the same kernel produce identical
 // event orders and identical virtual timestamps.
+//
+// Hot-path design (see docs/PERFORMANCE.md): events are pooled structs
+// ordered by a concrete 4-ary index heap; events scheduled for the
+// current instant bypass the heap through a FIFO run queue; and each
+// task parks/resumes over a single reusable handoff channel. None of
+// this changes the event order contract above — the merged pop order
+// is exactly the global (timestamp, sequence) order the original
+// binary heap produced.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync/atomic"
 	"time"
 )
+
+// totalEvents counts every event processed by any kernel in the
+// process, for wall-clock events/sec reporting (internal/perf,
+// bench_test.go). It is flushed in batches at the end of each run
+// loop so the hot path pays only a register increment; simulation
+// behavior never reads it, so determinism is unaffected.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the process-wide count of simulation events
+// processed so far. Subtract two readings around a workload to get
+// its event count.
+func TotalEvents() uint64 { return totalEvents.Load() }
 
 // Time is a virtual timestamp, measured in nanoseconds since the start
 // of the simulation. It deliberately mirrors time.Duration so that
@@ -23,31 +44,161 @@ import (
 type Time = time.Duration
 
 // event is a scheduled occurrence: either waking a parked task or
-// running a closure in kernel context.
+// running a closure in kernel context. Events are pooled by the
+// kernel; user code never sees them.
 type event struct {
 	at   Time
 	seq  uint64 // tiebreaker: FIFO among events at the same instant
 	task *Task  // non-nil: wake this task
 	fn   func() // non-nil: run in kernel context (must not block)
+	pos  int32  // heap index; posRunq while in the run queue, posFree otherwise
 }
 
-type eventHeap []*event
+const (
+	posFree int32 = -1 // not queued (free list or in flight)
+	posRunq int32 = -2 // in the same-instant run queue
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventHeap is a concrete 4-ary min-heap of events ordered by
+// (at, seq). Compared to container/heap it avoids interface boxing,
+// halves the tree depth, and tracks element positions so stale wakes
+// can be removed in place.
+type eventHeap struct {
+	es []*event
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e *event) {
+	h.es = append(h.es, e)
+	h.up(len(h.es) - 1)
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
+	e := h.es[0]
+	n := len(h.es) - 1
+	last := h.es[n]
+	h.es[n] = nil
+	h.es = h.es[:n]
+	if n > 0 {
+		h.es[0] = last
+		last.pos = 0
+		h.down(0)
+	}
+	e.pos = posFree
+	return e
+}
+
+// remove deletes an arbitrary event from the heap by its tracked
+// position (stale-wake cancellation).
+func (h *eventHeap) remove(e *event) {
+	i := int(e.pos)
+	n := len(h.es) - 1
+	last := h.es[n]
+	h.es[n] = nil
+	h.es = h.es[:n]
+	if i < n {
+		h.es[i] = last
+		last.pos = int32(i)
+		h.down(i)
+		h.up(int(last.pos))
+	}
+	e.pos = posFree
+}
+
+func (h *eventHeap) up(i int) {
+	es := h.es
+	e := es[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(e, es[p]) {
+			break
+		}
+		es[i] = es[p]
+		es[i].pos = int32(i)
+		i = p
+	}
+	es[i] = e
+	e.pos = int32(i)
+}
+
+func (h *eventHeap) down(i int) {
+	es := h.es
+	n := len(es)
+	e := es[i]
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(es[j], es[m]) {
+				m = j
+			}
+		}
+		if !evLess(es[m], e) {
+			break
+		}
+		es[i] = es[m]
+		es[i].pos = int32(i)
+		i = m
+	}
+	es[i] = e
+	e.pos = int32(i)
+}
+
+// eventRing is the same-instant FIFO run queue: a power-of-two ring
+// buffer of events whose timestamp equals the current virtual time.
+// Pushing and popping are O(1) with no ordering work at all.
+type eventRing struct {
+	buf  []*event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(e *event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *eventRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*event, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *eventRing) front() *event { return r.buf[r.head] }
+
+func (r *eventRing) popFront() *event {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	e.pos = posFree
 	return e
 }
 
@@ -64,8 +215,9 @@ type killSignal struct{}
 type Kernel struct {
 	now      Time
 	seq      uint64
-	queue    eventHeap
-	yield    chan struct{}
+	heap     eventHeap
+	runq     eventRing
+	free     []*event // pooled event structs
 	running  *Task
 	tasks    map[uint64]*Task
 	nextID   uint64
@@ -83,8 +235,6 @@ type Kernel struct {
 // feeds the kernel's deterministic random source (Rand).
 func New(seed int64) *Kernel {
 	return &Kernel{
-		queue: eventHeap{},
-		yield: make(chan struct{}),
 		tasks: make(map[uint64]*Task),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
@@ -102,10 +252,15 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // blocking on communication. A Task handle is only valid inside the
 // goroutine it was passed to.
 type Task struct {
-	k      *Kernel
-	id     uint64
-	name   string
-	resume chan struct{}
+	k    *Kernel
+	id   uint64
+	name string
+	// hand is the task's single handoff channel: the kernel sends one
+	// token to resume the task; the task sends it back to yield.
+	// Strict ping-pong alternation over an unbuffered channel keeps
+	// exactly one side runnable at a time.
+	hand   chan struct{}
+	wake   *event // pending wake event, nil if none queued
 	done   bool
 	killed bool
 }
@@ -127,10 +282,10 @@ func (t *Task) Now() Time { return t.k.now }
 // (before Run, or inside an After closure) or from task context.
 func (k *Kernel) Spawn(name string, fn func(t *Task)) *Task {
 	k.nextID++
-	t := &Task{k: k, id: k.nextID, name: name, resume: make(chan struct{})}
+	t := &Task{k: k, id: k.nextID, name: name, hand: make(chan struct{})}
 	k.tasks[t.id] = t
 	go func() {
-		<-t.resume
+		<-t.hand
 		defer func() {
 			t.done = true
 			delete(k.tasks, t.id)
@@ -142,11 +297,11 @@ func (k *Kernel) Spawn(name string, fn func(t *Task)) *Task {
 					k.fail(fmt.Sprintf("task %q panicked: %v", t.name, r))
 				}
 			}
-			k.yield <- struct{}{}
+			t.hand <- struct{}{}
 		}()
 		fn(t)
 	}()
-	k.schedule(&event{at: k.now, task: t})
+	t.wake = k.schedule(k.now, t, nil)
 	return t
 }
 
@@ -157,10 +312,52 @@ func (k *Kernel) fail(msg string) {
 	}
 }
 
-func (k *Kernel) schedule(e *event) {
+// alloc takes an event struct from the pool (or allocates one).
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{pos: posFree}
+}
+
+// release resets an event and returns it to the pool.
+func (k *Kernel) release(e *event) {
+	e.task = nil
+	e.fn = nil
+	e.pos = posFree
+	k.free = append(k.free, e)
+}
+
+// schedule queues an occurrence at time at. Same-instant events take
+// the FIFO run-queue fast path; future events go through the heap.
+func (k *Kernel) schedule(at Time, t *Task, fn func()) *event {
+	e := k.alloc()
 	k.seq++
-	e.seq = k.seq
-	heap.Push(&k.queue, e)
+	e.at, e.seq, e.task, e.fn = at, k.seq, t, fn
+	if at == k.now {
+		e.pos = posRunq
+		k.runq.push(e)
+	} else {
+		k.heap.push(e)
+	}
+	return e
+}
+
+// cancel drops a queued event: removed in place from the heap, or
+// tombstoned in the run queue (reclaimed on pop).
+func (k *Kernel) cancel(e *event) {
+	if e.pos >= 0 {
+		k.heap.remove(e)
+		k.release(e)
+		return
+	}
+	if e.pos == posRunq {
+		e.task = nil
+		e.fn = nil
+	}
 }
 
 // After schedules fn to run in kernel context at now+d. fn must not
@@ -169,23 +366,29 @@ func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	k.schedule(&event{at: k.now + d, fn: fn})
+	k.schedule(k.now+d, nil, fn)
 }
 
 // park blocks the calling task until the kernel wakes it.
 // Must be called from the running task's goroutine.
 func (t *Task) park() {
-	t.k.yield <- struct{}{}
-	<-t.resume
+	t.hand <- struct{}{}
+	<-t.hand
 	if t.killed {
 		//fractos:panic-ok cooperative kill: caught by the task trampoline's recover
 		panic(killSignal{})
 	}
 }
 
-// wake marks t runnable at now+d.
+// wakeAfter marks t runnable at now+d. If a wake is already queued for
+// the task (it is being re-scheduled), the stale event is dropped from
+// the queue instead of leaking until pop: the latest wake wins.
 func (t *Task) wakeAfter(d Time) {
-	t.k.schedule(&event{at: t.k.now + d, task: t})
+	if t.wake != nil {
+		t.k.cancel(t.wake)
+		t.wake = nil
+	}
+	t.wake = t.k.schedule(t.k.now+d, t, nil)
 }
 
 // Sleep suspends the task for d of virtual time.
@@ -216,25 +419,56 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 }
 
 func (k *Kernel) run(deadline Time) Time {
-	for len(k.queue) > 0 && !k.stopped {
-		e := k.queue[0]
-		if deadline >= 0 && e.at > deadline {
-			k.now = deadline
-			return k.now
+	var processed uint64
+	defer func() { totalEvents.Add(processed) }()
+	for (k.runq.n > 0 || k.heap.len() > 0) && !k.stopped {
+		// Choose the next event in global (at, seq) order. Run-queue
+		// entries all carry the current timestamp and were sequenced
+		// after every same-instant heap entry, so the heap goes first
+		// only while its minimum is at the current instant.
+		var e *event
+		if k.runq.n > 0 {
+			if k.heap.len() > 0 && k.heap.es[0].at == k.now {
+				e = k.heap.es[0]
+				if deadline >= 0 && e.at > deadline {
+					k.now = deadline
+					return k.now
+				}
+				k.heap.pop()
+			} else {
+				e = k.runq.front()
+				if deadline >= 0 && e.at > deadline {
+					k.now = deadline
+					return k.now
+				}
+				k.runq.popFront()
+			}
+		} else {
+			e = k.heap.es[0]
+			if deadline >= 0 && e.at > deadline {
+				k.now = deadline
+				return k.now
+			}
+			k.heap.pop()
 		}
-		heap.Pop(&k.queue)
+		processed++
 		if e.at > k.now {
 			k.pace(e.at)
 			k.now = e.at
 		}
 		switch {
 		case e.task != nil:
-			if e.task.done {
+			t := e.task
+			if t.wake == e {
+				t.wake = nil
+			}
+			k.release(e)
+			if t.done {
 				continue // stale wake for a finished task
 			}
-			k.running = e.task
-			e.task.resume <- struct{}{}
-			<-k.yield
+			k.running = t
+			t.hand <- struct{}{}
+			<-t.hand
 			k.running = nil
 			if k.panicMsg != "" {
 				msg := k.panicMsg
@@ -243,7 +477,12 @@ func (k *Kernel) run(deadline Time) Time {
 				panic(msg)
 			}
 		case e.fn != nil:
-			e.fn()
+			fn := e.fn
+			k.release(e)
+			fn()
+		default:
+			// Tombstone from a cancelled run-queue entry.
+			k.release(e)
 		}
 	}
 	return k.now
@@ -259,27 +498,21 @@ func (k *Kernel) Live() int { return len(k.tasks) }
 // called from kernel context (after Run returns). The kernel must not
 // be used afterwards.
 func (k *Kernel) Shutdown() {
-	// Collect ids first: unwinding mutates k.tasks.
+	// Collect ids first: unwinding mutates k.tasks. Deterministic
+	// order (ids are spawn-ordered).
 	ids := make([]uint64, 0, len(k.tasks))
 	for id := range k.tasks {
 		ids = append(ids, id)
 	}
-	// Deterministic order (ids are spawn-ordered).
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		t, ok := k.tasks[id]
 		if !ok || t.done {
 			continue
 		}
 		t.killed = true
-		t.resume <- struct{}{}
-		<-k.yield
+		t.hand <- struct{}{}
+		<-t.hand
 	}
 	k.stopped = true
 }

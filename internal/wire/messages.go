@@ -112,6 +112,15 @@ func decodeImms(r *Reader) []ImmArg {
 	return imms
 }
 
+// sizeImms returns the encoded length of an immediate-arg list.
+func sizeImms(imms []ImmArg) int {
+	n := 2
+	for _, a := range imms {
+		n += 4 + 4 + len(a.Data)
+	}
+	return n
+}
+
 // immsBytes reports the payload volume carried by immediate args,
 // used to classify messages as data-bearing.
 func immsBytes(imms []ImmArg) int {
@@ -982,3 +991,62 @@ func (m *Raw) Decode(r *Reader) error {
 	m.Data = r.Bytes32()
 	return r.Err()
 }
+
+// ---- encoded sizes ----
+//
+// EncodedSize returns the exact number of bytes Encode appends
+// (excluding the 2-byte type header). Marshal and the fabric use these
+// to pre-size buffers, and SizeOf to charge link bandwidth, without
+// performing a throwaway encode. The wire property test
+// (TestEncodedSizeMatchesEncode) checks every one of these against the
+// real encoder.
+
+// refSize is the encoded length of a cap.Ref (Ctrl u32, Obj u64,
+// Epoch u32).
+const refSize = 4 + 8 + 4
+
+// sizeCapSlots returns the encoded length of a capability-slot list.
+func sizeCapSlots(cs []CapSlot) int { return 2 + 6*len(cs) }
+
+// sizeCapXfers returns the encoded length of a capability-transfer
+// list (slot u16 + ref + kind u8 + rights u8 + size u64 + 2 bools).
+func sizeCapXfers(xs []CapXfer) int { return 2 + (2+refSize+1+1+8+1+1)*len(xs) }
+
+// sizeDelivered returns the encoded length of a delivered-cap list.
+func sizeDelivered(ds []DeliveredCap) int { return 2 + (2+4+1+1+8)*len(ds) }
+
+func (m *MemCreate) EncodedSize() int       { return 8 + 8 + 8 + 1 }
+func (m *MemDiminish) EncodedSize() int     { return 8 + 4 + 8 + 8 + 1 }
+func (m *MemCopy) EncodedSize() int         { return 8 + 4 + 4 }
+func (m *ReqCreate) EncodedSize() int       { return 8 + 4 + 8 + sizeImms(m.Imms) + sizeCapSlots(m.Caps) }
+func (m *ReqInvoke) EncodedSize() int       { return 8 + 4 + sizeImms(m.Imms) + sizeCapSlots(m.Caps) }
+func (m *CapRevtree) EncodedSize() int      { return 8 + 4 }
+func (m *CapRevoke) EncodedSize() int       { return 8 + 4 }
+func (m *CapDrop) EncodedSize() int         { return 8 + 4 }
+func (m *MonitorDelegate) EncodedSize() int { return 8 + 4 + 8 }
+func (m *MonitorReceive) EncodedSize() int  { return 8 + 4 + 8 }
+func (m *DeliverDone) EncodedSize() int     { return 8 }
+func (m *Null) EncodedSize() int            { return 8 }
+func (*ProcBye) EncodedSize() int           { return 0 }
+func (m *Completion) EncodedSize() int      { return 8 + 1 + 4 + 8 }
+func (m *Deliver) EncodedSize() int         { return 8 + 8 + 4 + len(m.Imms) + sizeDelivered(m.Caps) }
+func (m *MonitorCB) EncodedSize() int       { return 8 + 1 }
+func (m *CtrlDeriveMem) EncodedSize() int   { return 8 + 4 + refSize + 8 + 8 + 1 }
+func (m *CtrlDeriveReq) EncodedSize() int {
+	return 8 + 4 + refSize + sizeImms(m.Imms) + sizeCapXfers(m.Caps)
+}
+func (m *CtrlRevtree) EncodedSize() int  { return 8 + 4 + refSize }
+func (m *CtrlRevoke) EncodedSize() int   { return 8 + 4 + refSize }
+func (m *CtrlValidate) EncodedSize() int { return 8 + 4 + refSize + 1 }
+func (m *CtrlValInfo) EncodedSize() int  { return 8 + 1 + 4 + 8 + 8 + 1 }
+func (m *CtrlInvoke) EncodedSize() int {
+	return 8 + 4 + refSize + sizeImms(m.Imms) + sizeCapXfers(m.Caps)
+}
+func (m *CtrlAck) EncodedSize() int          { return 8 + 1 + 8 + 4 + 8 + 1 }
+func (m *CtrlCleanup) EncodedSize() int      { return 8 + 2 + refSize*len(m.Refs) }
+func (m *CtrlDelegNote) EncodedSize() int    { return 8 + 4 + refSize + 8 }
+func (m *CtrlDelegNoteAck) EncodedSize() int { return 8 + 1 + refSize }
+func (m *CtrlWatch) EncodedSize() int        { return 8 + 4 + refSize + 8 + 4 + 8 }
+func (m *CtrlNotify) EncodedSize() int       { return 8 + 8 + 1 }
+func (m *CtrlEpoch) EncodedSize() int        { return 4 + 4 }
+func (m *Raw) EncodedSize() int              { return 4 + 8 + 1 + 4 + len(m.Data) }

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"fractos/internal/assert"
 )
@@ -27,6 +28,52 @@ var ErrUnknownType = errors.New("wire: unknown message type")
 // Writer appends primitive values to a byte buffer.
 type Writer struct {
 	buf []byte
+}
+
+// writerPool recycles Writer buffers across messages. The API is
+// deterministic-safe: a pooled Writer is truncated before reuse and
+// its contents are fully (re)written by the caller before anyone reads
+// them, so encoded bytes never depend on which buffer the pool hands
+// out. Only buffer identity varies — and nothing in the simulation
+// observes identity.
+var writerPool = sync.Pool{New: func() interface{} { return new(Writer) }}
+
+// maxPooledWriter bounds the capacity retained by the pool so a rare
+// giant frame does not pin memory forever.
+const maxPooledWriter = 1 << 20
+
+// GetWriter returns a pooled Writer, reset and pre-grown to sizeHint
+// bytes of capacity. Callers that are done with the encoded bytes
+// should call Release; keeping the buffer is also safe (it simply
+// never returns to the pool).
+func GetWriter(sizeHint int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	w.Grow(sizeHint)
+	return w
+}
+
+// Release returns the Writer (and its buffer) to the pool. The caller
+// must not retain w or any slice of w.Bytes() afterwards.
+func (w *Writer) Release() {
+	if cap(w.buf) > maxPooledWriter {
+		w.buf = nil
+	}
+	w.buf = w.buf[:0]
+	writerPool.Put(w)
+}
+
+// Reset truncates the Writer for reuse, keeping its capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes.
+func (w *Writer) Grow(n int) {
+	if n <= cap(w.buf)-len(w.buf) {
+		return
+	}
+	nb := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(nb, w.buf)
+	w.buf = nb
 }
 
 // Bytes returns the encoded buffer.
@@ -76,6 +123,14 @@ type Reader struct {
 
 // NewReader wraps a buffer for decoding.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset re-points the Reader at a new buffer, clearing any sticky
+// error, so a Reader value can be reused without allocation.
+func (r *Reader) Reset(b []byte) {
+	r.buf = b
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -177,6 +232,10 @@ type Message interface {
 	WireType() Type
 	// Class tags the message for traffic accounting.
 	Class() Class
+	// EncodedSize returns the exact body length Encode will produce
+	// (excluding the 2-byte type header). Marshal and the fabric use
+	// it to pre-size buffers so encoding never reallocates.
+	EncodedSize() int
 	// Encode appends the message body (excluding the type header).
 	Encode(w *Writer)
 	// Decode parses the message body.
@@ -193,40 +252,60 @@ func Register(t Type, fn func() Message) {
 	registry[t] = fn
 }
 
-// Marshal encodes a message with its type header.
+// Marshal encodes a message with its type header. The buffer is
+// allocated at the exact encoded size (via EncodedSize), so encoding
+// performs a single allocation and never grows.
 func Marshal(m Message) []byte {
-	var w Writer
+	w := Writer{buf: make([]byte, 0, 2+m.EncodedSize())}
 	w.U16(uint16(m.WireType()))
 	m.Encode(&w)
-	return w.Bytes()
+	return w.buf
 }
 
-// Unmarshal decodes a framed message produced by Marshal.
+// AppendMarshal encodes a message with its type header, appending to
+// dst and returning the extended buffer. Passing dst[:0] of a retained
+// buffer gives an allocation-free encode once the buffer has grown to
+// the message's size; this is the hot-path entry the fabric uses.
+func AppendMarshal(dst []byte, m Message) []byte {
+	w := Writer{buf: dst}
+	w.Grow(2 + m.EncodedSize())
+	w.U16(uint16(m.WireType()))
+	m.Encode(&w)
+	return w.buf
+}
+
+// MarshalTo encodes a message with its type header into w (typically a
+// pooled Writer from GetWriter), pre-growing to the exact frame size.
+func MarshalTo(w *Writer, m Message) {
+	w.Grow(2 + m.EncodedSize())
+	w.U16(uint16(m.WireType()))
+	m.Encode(w)
+}
+
+// Unmarshal decodes a framed message produced by Marshal. The Reader
+// lives on the stack; the only allocations are the message struct
+// itself and copies of any variable-length payloads, so the returned
+// message never aliases b and b may be reused immediately.
 func Unmarshal(b []byte) (Message, error) {
-	r := NewReader(b)
+	r := Reader{buf: b}
 	t := Type(r.U16())
-	if r.Err() != nil {
-		return nil, r.Err()
+	if r.err != nil {
+		return nil, r.err
 	}
 	fn, ok := registry[t]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
 	m := fn()
-	if err := m.Decode(r); err != nil {
+	if err := m.Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Err() != nil {
-		return nil, r.Err()
+	if r.err != nil {
+		return nil, r.err
 	}
 	return m, nil
 }
 
 // SizeOf returns the encoded size of a message including the type
-// header, without retaining the buffer.
-func SizeOf(m Message) int {
-	var w Writer
-	w.U16(uint16(m.WireType()))
-	m.Encode(&w)
-	return w.Len()
-}
+// header, without encoding anything.
+func SizeOf(m Message) int { return 2 + m.EncodedSize() }
