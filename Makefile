@@ -30,8 +30,11 @@ bench:
 # bench-json runs the wall-clock perf suite (internal/perf) and writes
 # the machine-readable report tracked across PRs; see
 # docs/PERFORMANCE.md for the methodology and how to compare runs.
+# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR3.json
+
 bench-json:
-	$(GO) run ./cmd/fractos-bench -json > BENCH_PR2.json
+	$(GO) run ./cmd/fractos-bench -json > $(BENCH_OUT)
 
 # Regenerate every table and figure of the paper's evaluation.
 eval:

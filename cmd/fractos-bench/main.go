@@ -7,7 +7,7 @@
 //	fractos-bench               # run everything
 //	fractos-bench -list         # list experiment ids
 //	fractos-bench -run fig5     # run one experiment
-//	fractos-bench -json         # run the perf suite, emit JSON (BENCH_PR2.json)
+//	fractos-bench -json         # run the perf suite, emit JSON (the BENCH_PR*.json reports)
 //	fractos-bench -bench kernel/dispatch  # run one perf benchmark (text)
 package main
 

@@ -24,6 +24,7 @@ import (
 	"fractos/internal/flow"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 	"fractos/internal/wire"
 )
 
@@ -49,9 +50,9 @@ func deployStage(cl *core.Cluster, node int, name string, fn func(string) string
 }
 
 func main() {
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 4})
-	cl.K.Spawn("main", func(t *sim.Task) {
-		client := proc.Attach(cl, 0, "client", 0)
+	testbed.Run(testbed.Spec{Nodes: 4}, func(t *sim.Task, tb *testbed.Deployment) {
+		cl := tb.Cl
+		client := tb.Attach(0, "client", 0)
 
 		tokenize := deployStage(cl, 1, "tokenize", func(s string) string {
 			return fmt.Sprintf("tokens=%d", len(strings.Fields(s)))
@@ -116,6 +117,4 @@ func main() {
 		fmt.Printf("chained:   %s\n", d.Imms)
 		fmt.Printf("\ntotal virtual time: %v\n", t.Now())
 	})
-	cl.K.Run()
-	cl.K.Shutdown()
 }

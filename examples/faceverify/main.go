@@ -17,11 +17,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"fractos/internal/app/faceverify"
-	"fractos/internal/core"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 func main() {
@@ -34,49 +34,28 @@ func main() {
 		bytes int64
 	}
 	run := func(useBaseline bool) result {
-		cl := core.NewCluster(core.ClusterConfig{Nodes: 4})
+		fv := &stacks.FaceVerify{Cfg: cfg, Baseline: useBaseline}
 		var res result
-		done := false
-		cl.K.Spawn("main", func(t *sim.Task) {
-			defer func() { done = true }()
-			var verify func(*sim.Task, *faceverify.Request) ([]byte, error)
-			var db *faceverify.DB
-			if useBaseline {
-				app, err := faceverify.SetupBaseline(t, cl, cfg)
-				if err != nil {
-					log.Fatal(err)
+		testbed.Run(testbed.Spec{Nodes: 4, Services: []testbed.Service{fv}},
+			func(t *sim.Task, tb *testbed.Deployment) {
+				rng := testbed.Rand(11)
+				before := tb.Net().Stats()
+				start := t.Now()
+				for i := 0; i < nRequests; i++ {
+					req := faceverify.MakeRequest(fv.DB, i, cfg.Batch, rng)
+					out, err := fv.Verify(t, req)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if !req.CheckResults(out) {
+						log.Fatal("verification verdicts disagree with ground truth")
+					}
 				}
-				verify, db = app.VerifyBatch, app.DB
-			} else {
-				app, err := faceverify.SetupFractOS(t, cl, cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				verify, db = app.VerifyBatch, app.DB
-			}
-			rng := rand.New(rand.NewSource(11))
-			before := cl.Net.Stats()
-			start := t.Now()
-			for i := 0; i < nRequests; i++ {
-				req := faceverify.MakeRequest(db, i, cfg.Batch, rng)
-				out, err := verify(t, req)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if !req.CheckResults(out) {
-					log.Fatal("verification verdicts disagree with ground truth")
-				}
-			}
-			d := cl.Net.Stats().Sub(before)
-			res.lat = (t.Now() - start) / nRequests
-			res.msgs = d.CrossNodeMsgs / nRequests
-			res.bytes = d.CrossNodeBytes / nRequests
-		})
-		cl.K.Run()
-		cl.K.Shutdown()
-		if !done {
-			log.Fatal("run did not complete")
-		}
+				d := tb.Net().Stats().Sub(before)
+				res.lat = (t.Now() - start) / nRequests
+				res.msgs = d.CrossNodeMsgs / nRequests
+				res.bytes = d.CrossNodeBytes / nRequests
+			})
 		return res
 	}
 

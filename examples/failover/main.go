@@ -21,23 +21,20 @@ import (
 	"log"
 
 	"fractos/internal/cap"
-	"fractos/internal/core"
 	"fractos/internal/proc"
-	"fractos/internal/services"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 )
 
 const tagWork = 7
 
 func main() {
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 3})
-	watch := services.NewNodeWatch(cl)
-
-	cl.K.Spawn("main", func(t *sim.Task) {
+	testbed.Run(testbed.Spec{Nodes: 3, Watch: true}, func(t *sim.Task, tb *testbed.Deployment) {
+		watch := tb.Watch
 		// A "GPU-like" service on node 1: it creates one monitored
 		// Request per client so it learns when clients disappear.
-		svc := proc.Attach(cl, 1, "service", 0)
-		cl.K.Spawn("service-loop", func(st *sim.Task) {
+		svc := tb.Attach(1, "service", 0)
+		tb.Spawn("service-loop", func(st *sim.Task) {
 			for {
 				d, ok := svc.Receive(st)
 				if !ok {
@@ -79,8 +76,8 @@ func main() {
 			return lease
 		}
 
-		alice := proc.Attach(cl, 0, "alice", 0)
-		bob := proc.Attach(cl, 2, "bob", 0)
+		alice := tb.Attach(0, "alice", 0)
+		bob := tb.Attach(2, "bob", 0)
 		aliceLease := newClientLease(t, svc, "alice", alice)
 		bobLease := newClientLease(t, svc, "bob", bob)
 
@@ -122,8 +119,8 @@ func main() {
 		}
 
 		// --- recovery: redeploy the service under the new epoch ---
-		svc2 := proc.Attach(cl, 1, "service-v2", 0)
-		cl.K.Spawn("service-v2-loop", func(st *sim.Task) {
+		svc2 := tb.Attach(1, "service-v2", 0)
+		tb.Spawn("service-v2-loop", func(st *sim.Task) {
 			for {
 				d, ok := svc2.Receive(st)
 				if !ok {
@@ -138,6 +135,4 @@ func main() {
 		}
 		fmt.Println("\nservice redeployed, bob re-bootstrapped: back to normal")
 	})
-	cl.K.Run()
-	cl.K.Shutdown()
 }

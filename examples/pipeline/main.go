@@ -18,6 +18,7 @@ import (
 	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 	"fractos/internal/wire"
 )
 
@@ -88,9 +89,9 @@ func main() {
 		nStages = 4
 		size    = 16 << 10
 	)
-	cl := core.NewCluster(core.ClusterConfig{Nodes: nStages + 1})
-	cl.K.Spawn("main", func(t *sim.Task) {
-		client := proc.Attach(cl, 0, "client", size)
+	testbed.Run(testbed.Spec{Nodes: nStages + 1}, func(t *sim.Task, tb *testbed.Deployment) {
+		cl := tb.Cl
+		client := tb.Attach(0, "client", size)
 		buf, err := client.MemoryCreate(t, 0, size, cap.MemRights)
 		if err != nil {
 			log.Fatal(err)
@@ -206,6 +207,4 @@ func main() {
 
 		fmt.Println("\nchain = the paper's fully distributed model: fewest messages, lowest latency")
 	})
-	cl.K.Run()
-	cl.K.Shutdown()
 }

@@ -17,9 +17,9 @@ import (
 	"log"
 
 	"fractos/internal/cap"
-	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 	"fractos/internal/wire"
 )
 
@@ -29,16 +29,14 @@ const (
 )
 
 func main() {
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 2})
-
-	cl.K.Spawn("main", func(t *sim.Task) {
+	testbed.Run(testbed.Spec{Nodes: 2}, func(t *sim.Task, tb *testbed.Deployment) {
 		// --- deploy the service on node 1 ---
-		svc := proc.Attach(cl, 1, "shout-svc", 4096)
+		svc := tb.Attach(1, "shout-svc", 4096)
 		shout, err := svc.RequestCreate(t, tagShout, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl.K.Spawn("shout-loop", func(st *sim.Task) {
+		tb.Spawn("shout-loop", func(st *sim.Task) {
 			for {
 				d, ok := svc.Receive(st)
 				if !ok {
@@ -58,7 +56,7 @@ func main() {
 		})
 
 		// --- client on node 0 ---
-		app := proc.Attach(cl, 0, "app", 4096)
+		app := tb.Attach(0, "app", 4096)
 
 		// 1. Memory objects: copy bytes into the service's arena.
 		copy(app.Arena(), "hello, disaggregation")
@@ -107,10 +105,8 @@ func main() {
 			log.Fatal("revoked capability still worked!")
 		}
 
-		st := cl.Net.Stats()
+		st := tb.Net().Stats()
 		fmt.Printf("\nfabric totals: %d messages, %d bytes (%d cross-node msgs)\n",
 			st.TotalMsgs(), st.TotalBytes(), st.CrossNodeMsgs)
 	})
-	cl.K.Run()
-	cl.K.Shutdown()
 }

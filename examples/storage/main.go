@@ -21,32 +21,24 @@ import (
 	"log"
 
 	"fractos/internal/cap"
-	"fractos/internal/core"
-	"fractos/internal/device/nvme"
 	"fractos/internal/fs"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 func main() {
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 3})
-	cl.K.Spawn("main", func(t *sim.Task) {
-		// Node 2: the NVMe SSD and its adaptor Process.
-		dev := nvme.NewDevice(cl.K, nvme.DefaultConfig())
-		adaptor := nvme.NewAdaptor(cl, 2, "nvme-adaptor", dev, nvme.AdaptorConfig{})
-		if err := adaptor.Start(t); err != nil {
-			log.Fatal(err)
-		}
-		// Node 1: the FS service, wired to the block device.
-		svc := fs.NewService(cl, 1, "fs-service", fs.Config{})
-		if err := svc.Wire(adaptor); err != nil {
-			log.Fatal(err)
-		}
-		if err := svc.Start(t); err != nil {
-			log.Fatal(err)
-		}
+	// Declarative deployment: the NVMe SSD + adaptor on node 2, the FS
+	// service on node 1 wired to it; the testbed builds the kernel,
+	// fabric, and Controllers and deploys both before the demo runs.
+	nv := &stacks.NVMe{Node: 2}
+	fsvc := &stacks.FS{Node: 1, Backend: nv}
+	spec := testbed.Spec{Nodes: 3, Services: []testbed.Service{nv, fsvc}}
+	testbed.Run(spec, func(t *sim.Task, tb *testbed.Deployment) {
+		svc := fsvc.Svc
 		// Node 0: the client.
-		client := proc.Attach(cl, 0, "client", 2<<20)
+		client := tb.Attach(0, "client", 2<<20)
 		open, err := proc.GrantCap(svc.P, svc.Open, client)
 		if err != nil {
 			log.Fatal(err)
@@ -118,6 +110,4 @@ func main() {
 		}
 		fmt.Println("closed the DAX handle: its block leases are revoked at the owner")
 	})
-	cl.K.Run()
-	cl.K.Shutdown()
 }

@@ -7,6 +7,7 @@ import (
 	"fractos/internal/core"
 	"fractos/internal/device/gpu"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 )
 
 // newTestDevice builds a GPU with the face-verification kernel.
@@ -16,20 +17,10 @@ func newTestDevice(k *sim.Kernel) *gpu.Device {
 	return dev
 }
 
-func newCluster(placement core.Placement) *core.Cluster {
-	return core.NewCluster(core.ClusterConfig{Nodes: 4, Placement: placement})
-}
-
 func runApp(t *testing.T, placement core.Placement, fn func(tk *sim.Task, cl *core.Cluster)) {
 	t.Helper()
-	cl := newCluster(placement)
-	done := false
-	cl.K.Spawn("main", func(tk *sim.Task) { fn(tk, cl); done = true })
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		t.Fatal("test did not complete (deadlock?)")
-	}
+	testbed.RunT(t, testbed.Spec{Nodes: 4, Placement: placement},
+		func(tk *sim.Task, d *testbed.Deployment) { fn(tk, d.Cl) })
 }
 
 func TestKernelVerdicts(t *testing.T) {
@@ -169,32 +160,26 @@ func TestFractOSFasterAndLeaner(t *testing.T) {
 	// defeats the FS-node page cache (§6.4).
 	cfg := Config{Batch: 32, Files: 4, Slots: 2}
 	measure := func(setup func(tk *sim.Task, cl *core.Cluster) (func(*sim.Task, *Request) ([]byte, error), *DB)) (lat sim.Time, bytes int64) {
-		cl := newCluster(core.CtrlOnCPU)
-		done := false
-		cl.K.Spawn("main", func(tk *sim.Task) {
-			defer func() { done = true }()
-			verify, db := setup(tk, cl)
-			rng := rand.New(rand.NewSource(9))
-			reqs := make([]*Request, 4)
-			for i := range reqs {
-				reqs[i] = MakeRequest(db, i, cfg.Batch, rng)
-			}
-			before := cl.Net.Stats()
-			start := tk.Now()
-			for _, r := range reqs {
-				if out, err := verify(tk, r); err != nil || !r.CheckResults(out) {
-					t.Errorf("verify failed: %v", err)
-					return
+		testbed.RunT(t, testbed.Spec{Nodes: 4, Placement: core.CtrlOnCPU},
+			func(tk *sim.Task, d *testbed.Deployment) {
+				cl := d.Cl
+				verify, db := setup(tk, cl)
+				rng := rand.New(rand.NewSource(9))
+				reqs := make([]*Request, 4)
+				for i := range reqs {
+					reqs[i] = MakeRequest(db, i, cfg.Batch, rng)
 				}
-			}
-			lat = (tk.Now() - start) / sim.Time(len(reqs))
-			bytes = cl.Net.Stats().Sub(before).CrossNodeBytes / int64(len(reqs))
-		})
-		cl.K.Run()
-		cl.K.Shutdown()
-		if !done {
-			t.Fatal("deadlock")
-		}
+				before := cl.Net.Stats()
+				start := tk.Now()
+				for _, r := range reqs {
+					if out, err := verify(tk, r); err != nil || !r.CheckResults(out) {
+						t.Errorf("verify failed: %v", err)
+						return
+					}
+				}
+				lat = (tk.Now() - start) / sim.Time(len(reqs))
+				bytes = cl.Net.Stats().Sub(before).CrossNodeBytes / int64(len(reqs))
+			})
 		return lat, bytes
 	}
 

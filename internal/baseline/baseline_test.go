@@ -3,7 +3,6 @@ package baseline
 import (
 	"bytes"
 	"testing"
-	"time"
 
 	"fractos/internal/core"
 	"fractos/internal/device/gpu"
@@ -11,20 +10,15 @@ import (
 	"fractos/internal/fs"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 )
 
-func us(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+func us(f float64) sim.Time { return testbed.USec(f) }
 
 func runCluster(t *testing.T, fn func(tk *sim.Task, cl *core.Cluster)) {
 	t.Helper()
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 3})
-	done := false
-	cl.K.Spawn("main", func(tk *sim.Task) { fn(tk, cl); done = true })
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		t.Fatal("test did not complete (deadlock?)")
-	}
+	testbed.RunT(t, testbed.Spec{Nodes: 3},
+		func(tk *sim.Task, d *testbed.Deployment) { fn(tk, d.Cl) })
 }
 
 func TestNVMeoFReadWrite(t *testing.T) {

@@ -108,3 +108,39 @@ func TestPeerCallToDeadEndpoint(t *testing.T) {
 		}
 	})
 }
+
+// TestBlockCacheFIFOEviction: the block cache evicts
+// oldest-insertion-first — a pure function of the fill sequence, never
+// of Go's randomized map iteration order (which would leak
+// run-to-run nondeterminism into every Disaggregated-Baseline
+// experiment; the Figure 11 random-read cell used to flap because of
+// exactly that).
+func TestBlockCacheFIFOEviction(t *testing.T) {
+	c := newBlockCache(2 * cachePage) // room for two pages
+	page := func(i int64) int64 { return i * cachePage }
+	buf := make([]byte, cachePage)
+	c.fill(page(0), buf)
+	c.fill(page(1), buf)
+	c.fill(page(2), buf) // evicts page 0 (oldest), never page 1
+	if _, ok := c.pages[0]; ok {
+		t.Error("page 0 not evicted")
+	}
+	if _, ok := c.pages[1]; !ok {
+		t.Error("page 1 (younger) evicted instead of page 0")
+	}
+	if _, ok := c.pages[2]; !ok {
+		t.Error("freshly filled page 2 missing")
+	}
+	c.fill(page(3), buf) // evicts page 1
+	if _, ok := c.pages[1]; ok {
+		t.Error("page 1 not evicted on second overflow")
+	}
+	if c.used != 2*cachePage {
+		t.Errorf("used = %d, want %d", c.used, 2*cachePage)
+	}
+	// Refilling a resident page must not duplicate it in the FIFO.
+	c.fill(page(3), buf)
+	if len(c.fifo) != 2 {
+		t.Errorf("fifo length = %d after refill, want 2", len(c.fifo))
+	}
+}

@@ -233,12 +233,17 @@ func (ini *NVMeoFInitiator) Write(t *sim.Task, off int64, buf []byte) error {
 
 const readAhead = 256 << 10
 
-// blockCache is a byte-granular LRU-ish cache standing in for the
-// Linux page cache.
+// blockCache is a byte-granular FIFO cache standing in for the Linux
+// page cache. Eviction is oldest-insertion-first: picking a victim by
+// ranging over the page map would make the whole simulation depend on
+// Go's randomized map iteration order — the one source of
+// run-to-run nondeterminism the testbed layer's determinism contract
+// forbids (it showed up as a flapping Figure 11 Disagg cell).
 type blockCache struct {
 	max   int64
 	used  int64
 	pages map[int64][]byte // 4 KiB pages
+	fifo  []int64          // page insertion order (deterministic eviction)
 }
 
 func newBlockCache(max int64) *blockCache {
@@ -268,7 +273,8 @@ func (c *blockCache) read(off int64, buf []byte) bool {
 	return true
 }
 
-// fill installs data into the cache, evicting arbitrarily at capacity.
+// fill installs data into the cache, evicting oldest-first at
+// capacity.
 func (c *blockCache) fill(off int64, data []byte) {
 	for n := 0; n < len(data); {
 		p := (off + int64(n)) / cachePage
@@ -279,15 +285,15 @@ func (c *blockCache) fill(off int64, data []byte) {
 		}
 		pg, ok := c.pages[p]
 		if !ok {
-			if c.used+cachePage > c.max {
-				for victim := range c.pages {
-					delete(c.pages, victim)
-					c.used -= cachePage
-					break
-				}
+			if c.used+cachePage > c.max && len(c.fifo) > 0 {
+				victim := c.fifo[0]
+				c.fifo = c.fifo[1:]
+				delete(c.pages, victim)
+				c.used -= cachePage
 			}
 			pg = make([]byte, cachePage)
 			c.pages[p] = pg
+			c.fifo = append(c.fifo, p)
 			c.used += cachePage
 		}
 		copy(pg[po:po+cn], data[n:n+cn])

@@ -110,6 +110,18 @@ func (cl *Cluster) NewProcID() cap.ProcID {
 // Grant copies a capability entry from one Process to another through
 // the trusted bootstrap path (the paper's key/value bootstrap
 // service): fromCtrl must manage fromPid, toCtrl must manage toPid.
+//
+// The copy deliberately clears the Monitored and Leased flags: they
+// describe the *delegation edge* a capability travelled over
+// (monitor_delegate callbacks fire when a monitored edge is revoked;
+// leases die with their revtree node, §3.6), not the object itself.
+// Bootstrap grants bypass the invocation path, so the copied entry
+// starts a fresh, unmonitored edge — leaving the flags set would tie
+// the recipient's bootstrap capability to some other client's lease
+// lifetime and fire failure callbacks for edges the owner never
+// registered on this recipient. The trusted path is only exercised at
+// deployment time, before monitors exist, so no failure-notification
+// obligations are lost. TestGrantClearsDelegationFlags pins this.
 func Grant(fromCtrl *Controller, fromPid cap.ProcID, fromCid cap.CapID,
 	toCtrl *Controller, toPid cap.ProcID) (cap.CapID, error) {
 	e, ok := fromCtrl.EntryOf(fromPid, fromCid)

@@ -5,30 +5,21 @@ package core_test
 
 import (
 	"testing"
-	"time"
 
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 	"fractos/internal/wire"
 )
 
-func us(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+func us(f float64) sim.Time { return testbed.USec(f) }
 
 func run(t *testing.T, cfg core.ClusterConfig, fn func(tk *sim.Task, cl *core.Cluster)) {
 	t.Helper()
-	cl := core.NewCluster(cfg)
-	done := false
-	cl.K.Spawn("test-main", func(tk *sim.Task) {
-		fn(tk, cl)
-		done = true
-	})
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		t.Fatal("test did not complete (deadlock?)")
-	}
+	testbed.RunT(t, testbed.SpecOf(cfg),
+		func(tk *sim.Task, d *testbed.Deployment) { fn(tk, d.Cl) })
 }
 
 func TestClusterPlacements(t *testing.T) {
@@ -165,6 +156,85 @@ func TestCleanupBroadcastPurgesThirdParty(t *testing.T) {
 		// The third party's entry is gone entirely (not just dead).
 		if err := third.Drop(tk, granted); !wire.IsStatus(err, wire.StatusNoCap) {
 			t.Errorf("drop of purged entry: err = %v, want no-capability", err)
+		}
+	})
+}
+
+// TestGrantClearsDelegationFlags: the trusted bootstrap path
+// (core.Grant) copies the object reference but must start a fresh
+// delegation edge — the source entry's Monitored and Leased flags
+// describe the edge it travelled over, not the object, and copying
+// them would tie the recipient's bootstrap capability to another
+// client's lease lifetime (see the core.Grant doc comment).
+func TestGrantClearsDelegationFlags(t *testing.T) {
+	run(t, core.ClusterConfig{Nodes: 3}, func(tk *sim.Task, cl *core.Cluster) {
+		svc := proc.Attach(cl, 0, "svc", 0)
+		cli := proc.Attach(cl, 1, "cli", 0)
+		boot := proc.Attach(cl, 2, "boot", 0)
+
+		// A monitored source entry: svc watches delegations of req.
+		req, err := svc.RequestCreate(tk, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.MonitorDelegate(tk, req, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		src, ok := cl.CtrlFor(0).EntryOf(svc.ID(), req.ID())
+		if !ok || !src.Monitored {
+			t.Fatalf("precondition: source entry monitored=%v ok=%v", src.Monitored, ok)
+		}
+		cid, err := core.Grant(cl.CtrlFor(0), svc.ID(), req.ID(), cl.CtrlFor(2), boot.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := cl.CtrlFor(2).EntryOf(boot.ID(), cid)
+		if !ok {
+			t.Fatal("granted entry missing")
+		}
+		if got.Monitored || got.Leased {
+			t.Errorf("grant propagated delegation flags: monitored=%v leased=%v",
+				got.Monitored, got.Leased)
+		}
+
+		// A leased source entry: deliver the monitored capability
+		// through an invocation (the monitor_delegate path), so the
+		// client holds a lease, then bootstrap-grant the lease onward.
+		carrier, err := cli.RequestCreate(tk, 9, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		carrierAtSvc, err := proc.GrantCap(cli, carrier, svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Invoke(tk, carrierAtSvc, nil, []proc.Arg{{Slot: 0, Cap: req}}); err != nil {
+			t.Fatal(err)
+		}
+		d, ok := cli.Receive(tk)
+		if !ok {
+			t.Fatal("delivery lost")
+		}
+		lease, ok := d.Cap(0)
+		d.Done()
+		if !ok {
+			t.Fatal("no lease delivered")
+		}
+		le, ok := cl.CtrlFor(1).EntryOf(cli.ID(), lease.ID())
+		if !ok || !le.Leased {
+			t.Fatalf("precondition: delivered entry leased=%v ok=%v", le.Leased, ok)
+		}
+		cid2, err := core.Grant(cl.CtrlFor(1), cli.ID(), lease.ID(), cl.CtrlFor(2), boot.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, ok := cl.CtrlFor(2).EntryOf(boot.ID(), cid2)
+		if !ok {
+			t.Fatal("granted lease entry missing")
+		}
+		if got2.Monitored || got2.Leased {
+			t.Errorf("grant propagated lease flags: monitored=%v leased=%v",
+				got2.Monitored, got2.Leased)
 		}
 	})
 }

@@ -7,53 +7,46 @@ import (
 	"fractos/internal/assert"
 	"fractos/internal/core"
 	"fractos/internal/fabric"
+	"fractos/internal/load"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 	"fractos/internal/wire"
 )
 
-// appVerifier abstracts the two face-verification implementations.
-type appVerifier struct {
-	verify func(*sim.Task, *faceverify.Request) ([]byte, error)
-	db     *faceverify.DB
-}
-
-func setupApp(tk *sim.Task, cl *core.Cluster, cfg faceverify.Config, useBaseline bool) appVerifier {
-	if useBaseline {
-		app, err := faceverify.SetupBaseline(tk, cl, cfg)
-		if err != nil {
-			assert.NoErr(err, "exp/app")
-		}
-		return appVerifier{verify: app.VerifyBatch, db: app.DB}
-	}
-	app, err := faceverify.SetupFractOS(tk, cl, cfg)
-	if err != nil {
-		assert.NoErr(err, "exp/app")
-	}
-	return appVerifier{verify: app.VerifyBatch, db: app.DB}
+// appSpec returns the 4-node face-verification testbed spec used by
+// every end-to-end experiment (Figures 2, 12, 13 and the scaling
+// sweep).
+func appSpec(placement core.Placement, fv *stacks.FaceVerify) testbed.Spec {
+	return specFor(core.ClusterConfig{Nodes: 4, Placement: placement}, fv)
 }
 
 // appLatency measures the mean per-request latency over cfg.Files
 // requests, each hitting a fresh database file (random-read pattern).
 func appLatency(placement core.Placement, cfg faceverify.Config, useBaseline bool) sim.Time {
 	var lat sim.Time
-	runOn(core.ClusterConfig{Nodes: 4, Placement: placement}, func(tk *sim.Task, cl *core.Cluster) {
-		v := setupApp(tk, cl, cfg, useBaseline)
+	fv := &stacks.FaceVerify{Cfg: cfg, Baseline: useBaseline}
+	testbed.Run(appSpec(placement, fv), func(tk *sim.Task, d *testbed.Deployment) {
 		rng := newRand(5)
 		reqs := make([]*faceverify.Request, cfg.Files)
 		for i := range reqs {
-			reqs[i] = faceverify.MakeRequest(v.db, i, cfg.Batch, rng)
+			reqs[i] = faceverify.MakeRequest(fv.DB, i, cfg.Batch, rng)
 		}
-		start := tk.Now()
-		for _, r := range reqs {
-			out, err := v.verify(tk, r)
-			if err != nil {
-				assert.NoErr(err, "exp/app")
-			}
-			if !r.CheckResults(out) {
-				assert.Failf("exp/app: wrong verification verdicts")
-			}
+		st := load.Closed{Clients: 1, PerClient: len(reqs)}.Run(tk,
+			func(t *sim.Task, _, seq int) error {
+				out, err := fv.Verify(t, reqs[seq])
+				if err != nil {
+					return err
+				}
+				if !reqs[seq].CheckResults(out) {
+					assert.Failf("exp/app: wrong verification verdicts")
+				}
+				return nil
+			})
+		if st.Errors > 0 {
+			assert.Failf("exp/app: %d of %d requests failed", st.Errors, len(reqs))
 		}
-		lat = (tk.Now() - start) / sim.Time(len(reqs))
+		lat = st.Elapsed() / sim.Time(len(reqs))
 	})
 	return lat
 }
@@ -85,35 +78,32 @@ func Figure12() *Table {
 	return t
 }
 
-// appThroughput measures requests/s with `inflight` concurrent request
-// generators.
+// appThroughput measures requests/s with `inflight` concurrent
+// closed-loop clients.
 func appThroughput(placement core.Placement, cfg faceverify.Config, useBaseline bool, inflight int) float64 {
 	const reqsPerWorker = 4
-	var elapsed sim.Time
-	runOn(core.ClusterConfig{Nodes: 4, Placement: placement}, func(tk *sim.Task, cl *core.Cluster) {
-		v := setupApp(tk, cl, cfg, useBaseline)
+	var tput float64
+	fv := &stacks.FaceVerify{Cfg: cfg, Baseline: useBaseline}
+	testbed.Run(appSpec(placement, fv), func(tk *sim.Task, d *testbed.Deployment) {
 		rng := newRand(6)
-		var wg sim.WaitGroup
-		wg.Add(inflight)
-		start := tk.Now()
-		for w := 0; w < inflight; w++ {
-			reqs := make([]*faceverify.Request, reqsPerWorker)
-			for i := range reqs {
-				reqs[i] = faceverify.MakeRequest(v.db, w*reqsPerWorker+i, cfg.Batch, rng)
+		reqs := make([][]*faceverify.Request, inflight)
+		for w := range reqs {
+			reqs[w] = make([]*faceverify.Request, reqsPerWorker)
+			for i := range reqs[w] {
+				reqs[w][i] = faceverify.MakeRequest(fv.DB, w*reqsPerWorker+i, cfg.Batch, rng)
 			}
-			cl.K.Spawn("app-worker", func(wt *sim.Task) {
-				for _, r := range reqs {
-					if _, err := v.verify(wt, r); err != nil {
-						assert.NoErr(err, "exp/app")
-					}
-				}
-				wg.Done()
-			})
 		}
-		wg.Wait(tk)
-		elapsed = tk.Now() - start
+		st := load.Closed{Clients: inflight, PerClient: reqsPerWorker}.Run(tk,
+			func(wt *sim.Task, w, seq int) error {
+				_, err := fv.Verify(wt, reqs[w][seq])
+				return err
+			})
+		if st.Errors > 0 {
+			assert.Failf("exp/app: %d throughput requests failed", st.Errors)
+		}
+		tput = st.Throughput()
 	})
-	return float64(inflight*reqsPerWorker) / (float64(elapsed) / 1e9)
+	return tput
 }
 
 // Figure13 regenerates the end-to-end throughput comparison.
@@ -152,30 +142,22 @@ func Figure2() *Table {
 	// verb moves the whole buffer in hardware).
 	measure := func(mode string) fabric.Stats {
 		var per fabric.Stats
-		runOn(core.ClusterConfig{Nodes: 4}, func(tk *sim.Task, cl *core.Cluster) {
-			var verify func(*sim.Task, *faceverify.Request) ([]byte, error)
-			var db *faceverify.DB
-			switch mode {
-			case "baseline":
-				v := setupApp(tk, cl, cfg, true)
-				verify, db = v.verify, v.db
-			case "ring":
-				app, err := faceverify.SetupFractOS(tk, cl, cfg)
-				if err != nil {
+		fv := &stacks.FaceVerify{Cfg: cfg, Baseline: mode == "baseline"}
+		testbed.Run(appSpec(core.CtrlOnCPU, fv), func(tk *sim.Task, d *testbed.Deployment) {
+			cl := d.Cl
+			verify := fv.Verify
+			if mode == "ring" {
+				if err := fv.App.EnableRing(tk); err != nil {
 					assert.NoErr(err, "exp/app")
 				}
-				if err := app.EnableRing(tk); err != nil {
-					assert.NoErr(err, "exp/app")
+				verify = func(t *sim.Task, r *faceverify.Request) ([]byte, error) {
+					return fv.App.RingVerify(t, r)
 				}
-				verify, db = app.RingVerify, app.DB
-			default:
-				v := setupApp(tk, cl, cfg, false)
-				verify, db = v.verify, v.db
 			}
 			rng := newRand(7)
 			reqs := make([]*faceverify.Request, cfg.Files)
 			for i := range reqs {
-				reqs[i] = faceverify.MakeRequest(db, i, cfg.Batch, rng)
+				reqs[i] = faceverify.MakeRequest(fv.DB, i, cfg.Batch, rng)
 			}
 			var dataTransfers, ctrlMsgs, bytes int64
 			var last fabric.TraceEvent
@@ -202,12 +184,15 @@ func Figure2() *Table {
 				last = e
 			})
 			counting = true
-			for _, r := range reqs {
-				if _, err := verify(tk, r); err != nil {
-					assert.NoErr(err, "exp/app")
-				}
-			}
+			st := load.Closed{Clients: 1, PerClient: len(reqs)}.Run(tk,
+				func(t *sim.Task, _, seq int) error {
+					_, err := verify(t, reqs[seq])
+					return err
+				})
 			counting = false
+			if st.Errors > 0 {
+				assert.Failf("exp/app: %d fig2 requests failed", st.Errors)
+			}
 			n := int64(len(reqs))
 			per = fabric.Stats{
 				CrossNodeMsgs:     (dataTransfers + ctrlMsgs) / n,

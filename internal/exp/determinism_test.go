@@ -10,6 +10,8 @@ import (
 	"fractos/internal/core"
 	"fractos/internal/fabric"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 // TestSystemDeterminism runs full-stack experiments twice and requires
@@ -30,20 +32,21 @@ func TestSystemDeterminism(t *testing.T) {
 	}
 }
 
-// captureTrace runs a workload on a fresh cluster with the fabric
+// captureTrace runs a workload on a fresh testbed with the fabric
 // trace hook installed and returns the rendered event log: one line
 // per transfer, in delivery order, covering timestamps, endpoints,
 // message types, sizes, and classes. Two runs of the same workload
-// must produce byte-identical logs.
-func captureTrace(t *testing.T, cfg core.ClusterConfig, run func(tk *sim.Task, cl *core.Cluster)) string {
+// must produce byte-identical logs. Services are deployed before the
+// trace hook installs, so the log covers the workload only.
+func captureTrace(t *testing.T, spec testbed.Spec, run func(tk *sim.Task, d *testbed.Deployment)) string {
 	t.Helper()
 	var b strings.Builder
-	runOn(cfg, func(tk *sim.Task, cl *core.Cluster) {
-		cl.Net.SetTrace(func(e fabric.TraceEvent) {
+	testbed.RunT(t, spec, func(tk *sim.Task, d *testbed.Deployment) {
+		d.Net().SetTrace(func(e fabric.TraceEvent) {
 			fmt.Fprintf(&b, "%d %d>%d type=%d rdma=%v bytes=%d class=%d\n",
 				e.At, e.From, e.To, e.Type, e.RDMA, e.Bytes, e.Class)
 		})
-		run(tk, cl)
+		run(tk, d)
 	})
 	if b.Len() == 0 {
 		t.Fatal("trace capture saw no fabric transfers")
@@ -77,40 +80,49 @@ func diffTraces(t *testing.T, name, a, b string) {
 // event stream (every message and RDMA transfer, with virtual
 // timestamps) to be byte-identical across runs.
 func TestTraceDeterminism(t *testing.T) {
-	pipelineRun := func(tk *sim.Task, cl *core.Cluster) {
-		pl := newPipeline(tk, cl, 4, 4<<10)
+	pipelineRun := func(tk *sim.Task, d *testbed.Deployment) {
+		pl := newPipeline(tk, d.Cl, 4, 4<<10)
 		pl.runStar(tk)
 		pl.runFastStar(tk)
 		pl.runChain(tk)
 	}
-	appRun := func(tk *sim.Task, cl *core.Cluster) {
-		cfg := faceverify.Config{Batch: 8, Files: 2, Slots: 1}
-		v := setupApp(tk, cl, cfg, false)
-		rng := newRand(5)
-		for i := 0; i < cfg.Files; i++ {
-			r := faceverify.MakeRequest(v.db, i, cfg.Batch, rng)
-			out, err := v.verify(tk, r)
-			if err != nil {
-				t.Errorf("faceverify request %d: %v", i, err)
-				return
-			}
-			if !r.CheckResults(out) {
-				t.Errorf("faceverify request %d: wrong verdicts", i)
+	cfg := faceverify.Config{Batch: 8, Files: 2, Slots: 1}
+	appWorkload := func(fv *stacks.FaceVerify) func(tk *sim.Task, d *testbed.Deployment) {
+		return func(tk *sim.Task, d *testbed.Deployment) {
+			rng := newRand(5)
+			for i := 0; i < cfg.Files; i++ {
+				r := faceverify.MakeRequest(fv.DB, i, cfg.Batch, rng)
+				out, err := fv.Verify(tk, r)
+				if err != nil {
+					t.Errorf("faceverify request %d: %v", i, err)
+					return
+				}
+				if !r.CheckResults(out) {
+					t.Errorf("faceverify request %d: wrong verdicts", i)
+				}
 			}
 		}
 	}
 
-	workloads := []struct {
+	type workload struct {
 		name string
-		cfg  core.ClusterConfig
-		run  func(tk *sim.Task, cl *core.Cluster)
-	}{
-		{"pipeline", core.ClusterConfig{Nodes: 5}, pipelineRun},
-		{"faceverify", core.ClusterConfig{Nodes: 4, Placement: core.CtrlOnSNIC}, appRun},
+		mk   func() (testbed.Spec, func(tk *sim.Task, d *testbed.Deployment))
+	}
+	workloads := []workload{
+		{"pipeline", func() (testbed.Spec, func(tk *sim.Task, d *testbed.Deployment)) {
+			return testbed.Spec{Nodes: 5}, pipelineRun
+		}},
+		{"faceverify", func() (testbed.Spec, func(tk *sim.Task, d *testbed.Deployment)) {
+			fv := &stacks.FaceVerify{Cfg: cfg}
+			return testbed.Spec{Nodes: 4, Placement: core.CtrlOnSNIC,
+				Services: []testbed.Service{fv}}, appWorkload(fv)
+		}},
 	}
 	for _, w := range workloads {
-		a := captureTrace(t, w.cfg, w.run)
-		b := captureTrace(t, w.cfg, w.run)
+		specA, runA := w.mk()
+		a := captureTrace(t, specA, runA)
+		specB, runB := w.mk()
+		b := captureTrace(t, specB, runB)
 		diffTraces(t, w.name, a, b)
 	}
 }

@@ -3,7 +3,10 @@ package exp
 import (
 	"fractos/internal/assert"
 	"fractos/internal/core"
+	"fractos/internal/load"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 // AblationDirectComposition compares the three storage interfaces the
@@ -23,9 +26,9 @@ func AblationDirectComposition() *Table {
 	t := NewTable("abl-direct", "Storage interface ablation: random read latency (µs)",
 		"size", "FS (mediated)", "Direct (composed)", "DAX (leases)")
 	for _, size := range []uint64{4 << 10, 64 << 10, 256 << 10} {
-		fsLat := storLatency(storFS, size, false)
+		fsLat := storLatency(stacks.StorFS, size, false)
 		direct := storDirectLatency(size)
-		dax := storLatency(storDAX, size, false)
+		dax := storLatency(stacks.StorDAX, size, false)
 		t.AddRow(sizeLabel(int(size)), usec(fsLat), usec(direct), usec(dax))
 		if size == 64<<10 {
 			t.Metric("fs-us", float64(fsLat)/1e3)
@@ -40,18 +43,19 @@ func AblationDirectComposition() *Table {
 // storDirectLatency measures DirectReadAt on the FractOS stack.
 func storDirectLatency(size uint64) sim.Time {
 	var avg sim.Time
-	runOn(core.ClusterConfig{Nodes: 3}, func(tk *sim.Task, cl *core.Cluster) {
-		st := buildStorStack(tk, cl, storFS, false)
-		mem := st.buf(tk, size)
-		const k = 6
-		offs := randOffsets(k, size, 77)
-		start := tk.Now()
-		for _, off := range offs {
-			if err := st.file.DirectReadAt(tk, off, size, mem); err != nil {
-				assert.NoErr(err, "exp/direct")
+	stor := &stacks.Storage{Kind: stacks.StorFS}
+	testbed.Run(specFor(core.ClusterConfig{Nodes: 3}, stor),
+		func(tk *sim.Task, d *testbed.Deployment) {
+			mem := stor.Buf(tk, size)
+			const k = 6
+			offs := randOffsets(k, size, 77)
+			st := load.Closed{Clients: 1, PerClient: k}.Run(tk, func(t *sim.Task, _, seq int) error {
+				return stor.File.DirectReadAt(t, offs[seq], size, mem)
+			})
+			if st.Errors > 0 {
+				assert.Failf("exp/direct: %d of %d direct reads failed", st.Errors, k)
 			}
-		}
-		avg = (tk.Now() - start) / k
-	})
+			avg = st.Elapsed() / k
+		})
 	return avg
 }

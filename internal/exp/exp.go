@@ -12,14 +12,14 @@ import (
 	"math/rand"
 	"strings"
 
-	"fractos/internal/assert"
 	"fractos/internal/core"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 )
 
 // newRand returns a deterministic random source for workload
 // generation.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func newRand(seed int64) *rand.Rand { return testbed.Rand(seed) }
 
 // Table is one regenerated table or figure.
 type Table struct {
@@ -130,6 +130,7 @@ func All() []Spec {
 		{"fig11", "Storage throughput, 1 MiB reads, 4 in flight", Figure11},
 		{"fig12", "Face verification end-to-end latency", Figure12},
 		{"fig13", "Face verification end-to-end throughput", Figure13},
+		{"scaling-fv", "Open-loop face-verification scaling (offered load sweep)", ScalingFaceVerify},
 		{"abl-direct", "Ablation: mediated vs composed vs leased storage access", AblationDirectComposition},
 		{"abl-msgs", "Ablation: message complexity, centralized vs distributed", AblationMessageComplexity},
 		{"abl-dbuf", "Ablation: double buffering in memory_copy", AblationDoubleBuffer},
@@ -150,43 +151,22 @@ func Find(id string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// runOn executes fn as the main task of a fresh cluster and runs the
-// simulation to completion; it panics on incompletion (harness bug).
+// specFor converts a ClusterConfig into the equivalent testbed Spec.
+func specFor(cfg core.ClusterConfig, svcs ...testbed.Service) testbed.Spec {
+	return testbed.SpecOf(cfg, svcs...)
+}
+
+// runOn executes fn as the main task of a fresh testbed and runs the
+// simulation to completion; generators that deploy a standard service
+// stack pass its spec so the testbed deploys it declaratively before
+// fn runs.
 func runOn(cfg core.ClusterConfig, fn func(tk *sim.Task, cl *core.Cluster)) {
-	cl := core.NewCluster(cfg)
-	done := false
-	cl.K.Spawn("exp-main", func(tk *sim.Task) {
-		fn(tk, cl)
-		done = true
-	})
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		assert.Failf("exp: experiment task did not complete (deadlock)")
-	}
+	testbed.Run(specFor(cfg), func(tk *sim.Task, d *testbed.Deployment) { fn(tk, d.Cl) })
 }
 
-// usec formats a virtual duration in microseconds.
-func usec(d sim.Time) string { return fmt.Sprintf("%.2f", float64(d)/1000.0) }
-
-// mbps formats bytes over a duration as MB/s.
-func mbps(bytes int, d sim.Time) string { return fmt.Sprintf("%.0f", mbpsVal(bytes, d)) }
-
-func mbpsVal(bytes int, d sim.Time) float64 {
-	if d <= 0 {
-		return 0
-	}
-	return float64(bytes) / (float64(d) / 1e9) / 1e6
-}
-
-// sizeLabel formats a byte count compactly.
-func sizeLabel(n int) string {
-	switch {
-	case n >= 1<<20 && n%(1<<20) == 0:
-		return fmt.Sprintf("%dM", n>>20)
-	case n >= 1<<10 && n%(1<<10) == 0:
-		return fmt.Sprintf("%dK", n>>10)
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
-}
+// The unit helpers are shared with examples and tests via the testbed
+// layer; these aliases keep the generators terse.
+func usec(d sim.Time) string                { return testbed.Us(d) }
+func mbps(bytes int, d sim.Time) string     { return testbed.Mbps(bytes, d) }
+func mbpsVal(bytes int, d sim.Time) float64 { return testbed.MbpsVal(bytes, d) }
+func sizeLabel(n int) string                { return testbed.SizeLabel(n) }

@@ -6,154 +6,19 @@ import (
 	"fractos/internal/app/faceverify"
 	"fractos/internal/assert"
 	"fractos/internal/baseline"
-	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/device/gpu"
-	"fractos/internal/proc"
+	"fractos/internal/load"
 	"fractos/internal/sim"
-	"fractos/internal/wire"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 // gpuBatches are the batch sizes swept in Figure 9 (left).
 var gpuBatches = []int{1, 16, 64, 256, 1024}
 
-// gpuService wires a GPU adaptor and a client with one buffer set per
-// in-flight slot, for the GPU-service micro-benchmark (no storage).
-type gpuService struct {
-	app    *proc.Process
-	dev    *gpu.Device
-	invoke proc.Cap
-	slots  []gpuSlot
-	free   *sim.Semaphore
-	batch  int
-
-	lastTransfer sim.Time // upload time of the most recent request
-}
-
-type gpuSlot struct {
-	imgMem, probeMem            proc.Cap // app-side buffers
-	gpuImg, gpuProbe, gpuOut    proc.Cap
-	imgAddr, probeAddr, outAddr uint64
-	reply                       proc.Cap
-	replyTag                    uint64
-	imgOff, probeOff            int
-}
-
-func newGPUService(tk *sim.Task, cl *core.Cluster, batch, slots int) *gpuService {
-	dev := gpu.NewDevice(cl.K, gpu.Config{MemSize: 96 << 20, LaunchOverhead: gpu.DefaultConfig().LaunchOverhead})
-	faceverify.RegisterKernel(dev)
-	ad := gpu.NewAdaptor(cl, 1, "gpu-adaptor", dev)
-	if err := ad.Start(tk); err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	imgBytes := batch * faceverify.ImgSize
-	probeBytes := batch * faceverify.ProbeSize
-	slotBytes := imgBytes + probeBytes
-	g := &gpuService{dev: dev, batch: batch, free: sim.NewSemaphore(slots)}
-	g.app = proc.Attach(cl, 0, "gpu-client", slots*slotBytes+4096)
-	ctxInit, err := proc.GrantCap(ad.P, ad.CtxInit, g.app)
-	if err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	d, err := g.app.Call(tk, ctxInit, nil, nil, gpu.SlotCont)
-	if err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	allocReq, _ := d.Cap(gpu.SlotAlloc)
-	loadReq, _ := d.Cap(gpu.SlotLoad)
-	name := faceverify.KernelName
-	ld, err := g.app.Call(tk, loadReq,
-		[]wire.ImmArg{proc.U64Arg(8, uint64(len(name))), proc.BytesArg(16, []byte(name))},
-		nil, gpu.SlotCont)
-	if err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	g.invoke, _ = ld.Cap(gpu.SlotKernel)
-
-	alloc := func(size int) (proc.Cap, uint64) {
-		d, err := g.app.Call(tk, allocReq, []wire.ImmArg{proc.U64Arg(8, uint64(size))}, nil, gpu.SlotCont)
-		if err != nil {
-			assert.NoErr(err, "exp/gpuexp")
-		}
-		if st := d.U64(0); st != gpu.StatusOK {
-			assert.Failf("exp/gpuexp: gpu alloc status %d", st)
-		}
-		c, _ := d.Cap(gpu.SlotBuf)
-		return c, d.U64(8)
-	}
-	for i := 0; i < slots; i++ {
-		var s gpuSlot
-		s.gpuImg, s.imgAddr = alloc(imgBytes)
-		s.gpuProbe, s.probeAddr = alloc(probeBytes)
-		s.gpuOut, s.outAddr = alloc(batch)
-		s.imgOff = i * slotBytes
-		s.probeOff = s.imgOff + imgBytes
-		if s.imgMem, err = g.app.MemoryCreate(tk, uint64(s.imgOff), uint64(imgBytes), cap.MemRights); err != nil {
-			assert.NoErr(err, "exp/gpuexp")
-		}
-		if s.probeMem, err = g.app.MemoryCreate(tk, uint64(s.probeOff), uint64(probeBytes), cap.MemRights); err != nil {
-			assert.NoErr(err, "exp/gpuexp")
-		}
-		s.replyTag = g.app.NewTag()
-		if s.reply, err = g.app.RequestCreate(tk, s.replyTag, nil, nil); err != nil {
-			assert.NoErr(err, "exp/gpuexp")
-		}
-		g.slots = append(g.slots, s)
-	}
-	return g
-}
-
-// oneRequestTimed runs one request and returns the latency breakdown:
-// data-transfer time, kernel-execution time, and everything else
-// (FractOS request handling) — the stacked bars of Figure 9 (left).
-func (g *gpuService) oneRequestTimed(tk *sim.Task) (total, transfer, kernel sim.Time) {
-	start := tk.Now()
-	busy0 := g.dev.BusyTime
-	g.oneRequest(tk)
-	total = tk.Now() - start
-	kernel = g.dev.BusyTime - busy0
-	transfer = g.lastTransfer
-	return
-}
-
-// oneRequest uploads the image batch + probes, invokes the kernel, and
-// waits for its continuation — the single-round-trip invocation that
-// makes FractOS beat rCUDA's per-driver-call interposition (§6.3).
-func (g *gpuService) oneRequest(tk *sim.Task) {
-	g.free.Acquire(tk)
-	s := g.slots[len(g.slots)-1]
-	g.slots = g.slots[:len(g.slots)-1]
-	defer func() {
-		g.slots = append(g.slots, s)
-		g.free.Release()
-	}()
-	xferStart := tk.Now()
-	if err := g.app.MemoryCopy(tk, s.imgMem, s.gpuImg); err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	if err := g.app.MemoryCopy(tk, s.probeMem, s.gpuProbe); err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	g.lastTransfer = tk.Now() - xferStart
-	ao := gpu.ArgOffset(len(faceverify.KernelName), 0)
-	f := g.app.WaitTag(s.replyTag)
-	if err := g.app.Invoke(tk, g.invoke,
-		[]wire.ImmArg{
-			proc.U64Arg(ao, s.imgAddr), proc.U64Arg(ao+8, s.probeAddr),
-			proc.U64Arg(ao+16, s.outAddr), proc.U64Arg(ao+24, uint64(g.batch)),
-		},
-		[]proc.Arg{{Slot: gpu.SlotSuccess, Cap: s.reply}, {Slot: gpu.SlotError, Cap: s.reply}}); err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	d, err := f.Wait(tk)
-	if err != nil {
-		assert.NoErr(err, "exp/gpuexp")
-	}
-	d.Done()
-	if st := d.U64(0); st != gpu.StatusOK {
-		assert.Failf("exp/gpuexp: gpu pipeline status %d", st)
-	}
-}
+// The FractOS GPU service under test is stacks.GPU: adaptor on node 1,
+// client on node 0, one buffer set per in-flight slot.
 
 // rcudaService is the same workload over rCUDA.
 type rcudaService struct {
@@ -244,10 +109,11 @@ func Figure9() *Table {
 		"batch", "FractOS@CPU", "(xfer/kernel/ovh)", "FractOS@sNIC", "rCUDA", "local GPU")
 	ms := func(d sim.Time) string { return fmt.Sprintf("%.3f", float64(d)/1e6) }
 	measureFr := func(p core.Placement, batch int) (lat, xfer, kern sim.Time) {
-		runOn(core.ClusterConfig{Nodes: 2, Placement: p}, func(tk *sim.Task, cl *core.Cluster) {
-			g := newGPUService(tk, cl, batch, 1)
-			lat, xfer, kern = g.oneRequestTimed(tk)
-		})
+		g := &stacks.GPU{Batch: batch, Slots: 1}
+		testbed.Run(specFor(core.ClusterConfig{Nodes: 2, Placement: p}, g),
+			func(tk *sim.Task, d *testbed.Deployment) {
+				lat, xfer, kern = g.OneRequestTimed(tk)
+			})
 		return
 	}
 	measureRC := func(batch int) sim.Time {
@@ -278,55 +144,43 @@ func Figure9() *Table {
 	}
 	t.Note("xfer/kernel/ovh = data transfers, kernel execution, FractOS request handling (the paper's breakdown)")
 
-	// Throughput: fixed batch 1024 (paper, right panel), in-flight sweep.
+	// Throughput: fixed batch 1024 (paper, right panel), closed-loop
+	// in-flight sweep driven by the load layer.
 	const tputBatch = 1024
 	const reqsPerWorker = 4
-	tput := func(run func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time, inflight int) float64 {
-		var elapsed sim.Time
+	frTput := func(inflight int) float64 {
+		var tput float64
+		g := &stacks.GPU{Batch: tputBatch, Slots: inflight}
+		testbed.Run(specFor(core.ClusterConfig{Nodes: 2}, g),
+			func(tk *sim.Task, d *testbed.Deployment) {
+				st := load.Closed{Clients: inflight, PerClient: reqsPerWorker}.Run(tk,
+					func(wt *sim.Task, _, _ int) error {
+						g.OneRequest(wt)
+						return nil
+					})
+				tput = st.Throughput()
+			})
+		return tput
+	}
+	rcTput := func(inflight int) float64 {
+		var tput float64
 		runOn(core.ClusterConfig{Nodes: 2}, func(tk *sim.Task, cl *core.Cluster) {
-			elapsed = run(tk, cl, inflight)
-		})
-		total := inflight * reqsPerWorker
-		return float64(total) / (float64(elapsed) / 1e9)
-	}
-	frRun := func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time {
-		g := newGPUService(tk, cl, tputBatch, inflight)
-		var wg sim.WaitGroup
-		wg.Add(inflight)
-		start := tk.Now()
-		for w := 0; w < inflight; w++ {
-			cl.K.Spawn("worker", func(wt *sim.Task) {
-				for r := 0; r < reqsPerWorker; r++ {
-					g.oneRequest(wt)
-				}
-				wg.Done()
-			})
-		}
-		wg.Wait(tk)
-		return tk.Now() - start
-	}
-	rcRun := func(tk *sim.Task, cl *core.Cluster, inflight int) sim.Time {
-		r := newRCUDAService(tk, cl, tputBatch, inflight)
-		var wg sim.WaitGroup
-		wg.Add(inflight)
-		start := tk.Now()
-		for w := 0; w < inflight; w++ {
-			cl.K.Spawn("worker", func(wt *sim.Task) {
-				for q := 0; q < reqsPerWorker; q++ {
+			r := newRCUDAService(tk, cl, tputBatch, inflight)
+			st := load.Closed{Clients: inflight, PerClient: reqsPerWorker}.Run(tk,
+				func(wt *sim.Task, _, _ int) error {
 					r.oneRequest(wt)
-				}
-				wg.Done()
-			})
-		}
-		wg.Wait(tk)
-		return tk.Now() - start
+					return nil
+				})
+			tput = st.Throughput()
+		})
+		return tput
 	}
 	localIdeal := 1e9 / (float64(gpu.DefaultConfig().LaunchOverhead) + float64(tputBatch)*float64(faceverify.KernelPerImage))
 	t.AddRow("", "", "", "", "", "")
 	t.AddRow("inflight", "FractOS req/s", "", "", "rCUDA req/s", "ideal GPU req/s")
 	for _, inflight := range []int{1, 2, 4, 8} {
-		ft := tput(frRun, inflight)
-		rt := tput(rcRun, inflight)
+		ft := frTput(inflight)
+		rt := rcTput(inflight)
 		t.AddRow(fmt.Sprint(inflight), fmt.Sprintf("%.0f", ft), "", "", fmt.Sprintf("%.0f", rt),
 			fmt.Sprintf("%.0f", localIdeal))
 		if inflight == 4 {

@@ -4,105 +4,22 @@ import (
 	"fmt"
 
 	"fractos/internal/assert"
-	"fractos/internal/baseline"
-	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/device/nvme"
 	"fractos/internal/fs"
+	"fractos/internal/load"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
+	"fractos/internal/testbed/stacks"
 )
 
 // Storage experiment topology: client on node 0, FS service on node 1,
-// NVMe on node 2 (the FS's backend device is remote either way).
-const (
-	storClientNode = 0
-	storFSNode     = 1
-	storDevNode    = 2
-)
+// NVMe on node 2 — stacks.Storage's default placement (the FS's
+// backend device is remote either way).
 
 // storFileBytes is the benchmark file: 8 extents of 1 MiB.
 const storFileBytes = uint64(fs.MaxExtents) * fs.ExtentSize
-
-// storStack is one assembled storage system under test.
-type storStack struct {
-	client   *proc.Process
-	file     *fs.File
-	mem      map[uint64]proc.Cap // size → client Memory capability
-	drop     func()              // cache drop, if the backend has one
-	setCache func(int64)         // cache resize, if the backend has one
-}
-
-// storKind selects the system (Figure 10's four lines).
-type storKind int
-
-const (
-	storFS storKind = iota
-	storDAX
-	storDisagg
-)
-
-func buildStorStack(tk *sim.Task, cl *core.Cluster, kind storKind, forWrite bool) *storStack {
-	dev := nvme.NewDevice(cl.K, nvme.DefaultConfig())
-	svc := fs.NewService(cl, storFSNode, "fs", fs.Config{})
-	var drop func()
-	var setCache func(int64)
-	switch kind {
-	case storDisagg:
-		be := baseline.NewDisaggregatedBackend(cl, storFSNode, storDevNode, dev)
-		svc.WireBackend(be)
-		drop = be.Initiator().DropCaches
-		setCache = be.Initiator().SetCacheSize
-	default:
-		ad := nvme.NewAdaptor(cl, storDevNode, "nvme", dev, nvme.AdaptorConfig{})
-		if err := ad.Start(tk); err != nil {
-			assert.NoErr(err, "exp/storage")
-		}
-		if err := svc.Wire(ad); err != nil {
-			assert.NoErr(err, "exp/storage")
-		}
-		drop = func() {}
-	}
-	if err := svc.Start(tk); err != nil {
-		assert.NoErr(err, "exp/storage")
-	}
-	client := proc.Attach(cl, storClientNode, "stor-client", 12<<20)
-	open, err := proc.GrantCap(svc.P, svc.Open, client)
-	if err != nil {
-		assert.NoErr(err, "exp/storage")
-	}
-	mode := uint64(fs.OpenRead | fs.OpenWrite | fs.OpenCreate)
-	if _, err := fs.OpenFile(tk, client, open, "bench.bin", mode, storFileBytes); err != nil {
-		assert.NoErr(err, "exp/storage")
-	}
-	reopen := uint64(fs.OpenRead)
-	if forWrite {
-		reopen |= fs.OpenWrite
-	}
-	if kind == storDAX {
-		reopen |= fs.OpenDAX
-	}
-	f, err := fs.OpenFile(tk, client, open, "bench.bin", reopen, 0)
-	if err != nil {
-		assert.NoErr(err, "exp/storage")
-	}
-	st := &storStack{client: client, file: f, mem: map[uint64]proc.Cap{}, drop: drop, setCache: setCache}
-	st.drop()
-	return st
-}
-
-// buf returns (caching) a client Memory capability of exactly n bytes.
-func (st *storStack) buf(tk *sim.Task, n uint64) proc.Cap {
-	if c, ok := st.mem[n]; ok {
-		return c
-	}
-	c, _, err := st.client.AllocMemory(tk, int(n), cap.MemRights)
-	if err != nil {
-		assert.NoErr(err, "exp/storage")
-	}
-	st.mem[n] = c
-	return c
-}
 
 // randOffsets returns k distinct size-aligned offsets, each within one
 // extent (no extent crossing), sampled deterministically.
@@ -124,31 +41,29 @@ func randOffsets(k int, size uint64, seed int64) []uint64 {
 }
 
 // storLatency measures the average latency of k random operations.
-func storLatency(kind storKind, size uint64, isWrite bool) sim.Time {
+func storLatency(kind stacks.StorageKind, size uint64, isWrite bool) sim.Time {
 	return storLatencyOn(core.CtrlOnCPU, kind, size, isWrite)
 }
 
-func storLatencyOn(p core.Placement, kind storKind, size uint64, isWrite bool) sim.Time {
+func storLatencyOn(p core.Placement, kind stacks.StorageKind, size uint64, isWrite bool) sim.Time {
 	var avg sim.Time
-	runOn(core.ClusterConfig{Nodes: 3, Placement: p}, func(tk *sim.Task, cl *core.Cluster) {
-		st := buildStorStack(tk, cl, kind, isWrite)
-		mem := st.buf(tk, size)
-		const k = 6
-		offs := randOffsets(k, size, 77)
-		start := tk.Now()
-		for _, off := range offs {
-			var err error
-			if isWrite {
-				err = st.file.WriteAt(tk, off, size, mem)
-			} else {
-				err = st.file.ReadAt(tk, off, size, mem)
+	stor := &stacks.Storage{Kind: kind, ForWrite: isWrite}
+	testbed.Run(specFor(core.ClusterConfig{Nodes: 3, Placement: p}, stor),
+		func(tk *sim.Task, d *testbed.Deployment) {
+			mem := stor.Buf(tk, size)
+			const k = 6
+			offs := randOffsets(k, size, 77)
+			st := load.Closed{Clients: 1, PerClient: k}.Run(tk, func(t *sim.Task, _, seq int) error {
+				if isWrite {
+					return stor.File.WriteAt(t, offs[seq], size, mem)
+				}
+				return stor.File.ReadAt(t, offs[seq], size, mem)
+			})
+			if st.Errors > 0 {
+				assert.Failf("exp/storage: %d of %d ops failed", st.Errors, k)
 			}
-			if err != nil {
-				assert.NoErr(err, "exp/storage")
-			}
-		}
-		avg = (tk.Now() - start) / k
-	})
+			avg = st.Elapsed() / k
+		})
 	return avg
 }
 
@@ -193,9 +108,9 @@ func Figure10() *Table {
 			op = "write"
 		}
 		for _, size := range []uint64{4 << 10, 64 << 10, 256 << 10, 1 << 20} {
-			fsLat := storLatency(storFS, size, isWrite)
-			dax := storLatency(storDAX, size, isWrite)
-			dis := storLatency(storDisagg, size, isWrite)
+			fsLat := storLatency(stacks.StorFS, size, isWrite)
+			dax := storLatency(stacks.StorDAX, size, isWrite)
+			dis := storLatency(stacks.StorDisagg, size, isWrite)
 			loc := localLatency(size, isWrite)
 			t.AddRow(op, sizeLabel(int(size)), usec(fsLat), usec(dax), usec(dis), usec(loc))
 			if !isWrite {
@@ -212,8 +127,8 @@ func Figure10() *Table {
 	// The sNIC deployment rows: §6.4 notes the system overheads grow
 	// when Controllers run on the BlueField's slow ARM cores.
 	for _, size := range []uint64{4 << 10, 256 << 10} {
-		fsLat := storLatencyOn(core.CtrlOnSNIC, storFS, size, false)
-		dax := storLatencyOn(core.CtrlOnSNIC, storDAX, size, false)
+		fsLat := storLatencyOn(core.CtrlOnSNIC, stacks.StorFS, size, false)
+		dax := storLatencyOn(core.CtrlOnSNIC, stacks.StorDAX, size, false)
 		t.AddRow("read@sNIC", sizeLabel(int(size)), usec(fsLat), usec(dax), "-", "-")
 		if size == 4<<10 {
 			t.Metric("read4k-fs-snic-us", float64(fsLat)/1e3)
@@ -224,8 +139,8 @@ func Figure10() *Table {
 	// the Disaggregated Baseline, whose read-ahead caching becomes
 	// effective.
 	for _, size := range []uint64{64 << 10} {
-		dax := storSeqLatency(storDAX, size)
-		dis := storSeqLatency(storDisagg, size)
+		dax := storSeqLatency(stacks.StorDAX, size)
+		dis := storSeqLatency(stacks.StorDisagg, size)
 		t.AddRow("seqread", sizeLabel(int(size)), "-", usec(dax), usec(dis), "-")
 		t.Metric("seq64k-dax-us", float64(dax)/1e3)
 		t.Metric("seq64k-disagg-us", float64(dis)/1e3)
@@ -236,65 +151,62 @@ func Figure10() *Table {
 }
 
 // storSeqLatency measures sequential reads (read-ahead friendly).
-func storSeqLatency(kind storKind, size uint64) sim.Time {
+func storSeqLatency(kind stacks.StorageKind, size uint64) sim.Time {
 	var avg sim.Time
-	runOn(core.ClusterConfig{Nodes: 3}, func(tk *sim.Task, cl *core.Cluster) {
-		st := buildStorStack(tk, cl, kind, false)
-		mem := st.buf(tk, size)
-		const k = 8
-		start := tk.Now()
-		for i := 0; i < k; i++ {
-			if err := st.file.ReadAt(tk, uint64(i)*size, size, mem); err != nil {
-				assert.NoErr(err, "exp/storage")
+	stor := &stacks.Storage{Kind: kind}
+	testbed.Run(specFor(core.ClusterConfig{Nodes: 3}, stor),
+		func(tk *sim.Task, d *testbed.Deployment) {
+			mem := stor.Buf(tk, size)
+			const k = 8
+			st := load.Closed{Clients: 1, PerClient: k}.Run(tk, func(t *sim.Task, _, seq int) error {
+				return stor.File.ReadAt(t, uint64(seq)*size, size, mem)
+			})
+			if st.Errors > 0 {
+				assert.Failf("exp/storage: %d of %d seq reads failed", st.Errors, k)
 			}
-		}
-		avg = (tk.Now() - start) / k
-	})
+			avg = st.Elapsed() / k
+		})
 	return avg
 }
 
 // storThroughput measures aggregate read bandwidth with 1 MiB blocks
 // and `inflight` concurrent readers (Figure 11).
-func storThroughput(kind storKind, sequential bool, inflight int) float64 {
+func storThroughput(kind stacks.StorageKind, sequential bool, inflight int) float64 {
 	const size = uint64(1 << 20)
 	const opsPerWorker = 8
-	var elapsed sim.Time
-	runOn(core.ClusterConfig{Nodes: 3}, func(tk *sim.Task, cl *core.Cluster) {
-		st := buildStorStack(tk, cl, kind, false)
-		// Shrink the baseline's cache below the working set (the
-		// paper's dataset exceeds the FS-node cache, making it
-		// ineffective for random reads).
-		if kind == storDisagg && st.setCache != nil {
-			st.setCache(2 << 20)
-		}
-		var wg sim.WaitGroup
-		wg.Add(inflight)
-		start := tk.Now()
-		for w := 0; w < inflight; w++ {
-			w := w
-			cl.K.Spawn("stor-worker", func(wt *sim.Task) {
-				mem, _, err := st.client.AllocMemory(wt, int(size), cap.MemRights)
-				if err != nil {
-					assert.NoErr(err, "exp/storage")
-				}
-				offs := randOffsets(opsPerWorker, size, int64(100+w))
-				for i := 0; i < opsPerWorker; i++ {
-					off := offs[i]
+	var tput float64
+	stor := &stacks.Storage{Kind: kind}
+	testbed.Run(specFor(core.ClusterConfig{Nodes: 3}, stor),
+		func(tk *sim.Task, d *testbed.Deployment) {
+			// Shrink the baseline's cache below the working set (the
+			// paper's dataset exceeds the FS-node cache, making it
+			// ineffective for random reads).
+			if kind == stacks.StorDisagg && stor.SetCacheSize != nil {
+				stor.SetCacheSize(2 << 20)
+			}
+			// Per-worker state, initialized lazily inside each worker's
+			// first request (buffer registration is part of the run, as
+			// it was when each worker allocated before its loop).
+			mems := make([]proc.Cap, inflight)
+			offs := make([][]uint64, inflight)
+			st := load.Closed{Clients: inflight, PerClient: opsPerWorker}.Run(tk,
+				func(wt *sim.Task, w, seq int) error {
+					if seq == 0 {
+						mems[w] = stor.Alloc(wt, size)
+						offs[w] = randOffsets(opsPerWorker, size, int64(100+w))
+					}
+					off := offs[w][seq]
 					if sequential {
-						off = (uint64(w*opsPerWorker+i) * size) % storFileBytes
+						off = (uint64(w*opsPerWorker+seq) * size) % storFileBytes
 					}
-					if err := st.file.ReadAt(wt, off, size, mem); err != nil {
-						assert.NoErr(err, "exp/storage")
-					}
-				}
-				wg.Done()
-			})
-		}
-		wg.Wait(tk)
-		elapsed = tk.Now() - start
-	})
-	total := inflight * opsPerWorker * int(size)
-	return mbpsVal(total, elapsed)
+					return stor.File.ReadAt(wt, off, size, mems[w])
+				})
+			if st.Errors > 0 {
+				assert.Failf("exp/storage: %d throughput reads failed", st.Errors)
+			}
+			tput = mbpsVal(inflight*opsPerWorker*int(size), st.Elapsed())
+		})
+	return tput
 }
 
 // Figure11 regenerates the storage throughput comparison (1 MiB
@@ -310,9 +222,9 @@ func Figure11() *Table {
 		if seq {
 			pat = "sequential"
 		}
-		fsT := storThroughput(storFS, seq, 4)
-		daxT := storThroughput(storDAX, seq, 4)
-		disT := storThroughput(storDisagg, seq, 4)
+		fsT := storThroughput(stacks.StorFS, seq, 4)
+		daxT := storThroughput(stacks.StorDAX, seq, 4)
+		disT := storThroughput(stacks.StorDisagg, seq, 4)
 		t.AddRow(pat, fmt.Sprintf("%.0f", fsT), fmt.Sprintf("%.0f", daxT), fmt.Sprintf("%.0f", disT))
 		if !seq {
 			t.Metric("rand-dax-mbps", daxT)

@@ -3,16 +3,16 @@ package fs
 import (
 	"bytes"
 	"testing"
-	"time"
 
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/device/nvme"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 )
 
-func us(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+func us(f float64) sim.Time { return testbed.USec(f) }
 
 // stack assembles the paper's storage stack on a 3-node cluster:
 // NVMe + adaptor on node 2, FS service on node 1, client on node 0.
@@ -54,17 +54,10 @@ func buildStack(tk *sim.Task, t *testing.T, cl *core.Cluster) *stack {
 
 func runStack(t *testing.T, fn func(tk *sim.Task, st *stack)) {
 	t.Helper()
-	cl := core.NewCluster(core.ClusterConfig{Nodes: 3})
-	done := false
-	cl.K.Spawn("main", func(tk *sim.Task) {
-		fn(tk, buildStack(tk, t, cl))
-		done = true
-	})
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		t.Fatal("test did not complete (deadlock?)")
-	}
+	testbed.RunT(t, testbed.Spec{Nodes: 3},
+		func(tk *sim.Task, d *testbed.Deployment) {
+			fn(tk, buildStack(tk, t, d.Cl))
+		})
 }
 
 // mem allocates and registers n bytes of client arena at off.

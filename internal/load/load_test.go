@@ -1,0 +1,291 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fractos/internal/sim"
+)
+
+// --- histogram geometry -------------------------------------------------
+
+// TestBucketGeometry: every non-negative value lands in a bucket whose
+// upper bound contains it within the documented 33/32 relative error,
+// and buckets partition the value space monotonically.
+func TestBucketGeometry(t *testing.T) {
+	check := func(v sim.Time) {
+		t.Helper()
+		idx := bucketOf(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if idx > 0 && bucketUpper(idx-1) >= v {
+			t.Fatalf("value %d also fits bucket %d (upper %d)", v, idx-1, bucketUpper(idx-1))
+		}
+		if uint64(v) < subCount {
+			if up != v {
+				t.Fatalf("small value %d not exact: upper %d", v, up)
+			}
+		} else if float64(up) > float64(v)*33.0/32.0 {
+			t.Fatalf("bucketUpper(%d)=%d exceeds %d*33/32", idx, up, v)
+		}
+	}
+	for v := sim.Time(0); v < 5000; v++ {
+		check(v)
+	}
+	for shift := uint(5); shift < 63; shift++ {
+		for _, d := range []int64{-1, 0, 1} {
+			check(sim.Time(int64(1)<<shift + d))
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		check(sim.Time(rng.Int63()))
+	}
+	// The top bucket covers the largest positive duration.
+	if got := bucketOf(sim.Time(1<<63 - 1)); got != numBuckets-1 {
+		t.Fatalf("max value bucket = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// TestQuantileVsSortedReference: for several sample distributions, the
+// histogram quantile must bracket the exact (sort-based) quantile:
+// exact <= est <= exact*33/32.
+func TestQuantileVsSortedReference(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) sim.Time{
+		"uniform-small": func(r *rand.Rand) sim.Time { return sim.Time(r.Int63n(100)) },
+		"uniform-wide":  func(r *rand.Rand) sim.Time { return sim.Time(r.Int63n(1 << 40)) },
+		"exponential":   func(r *rand.Rand) sim.Time { return sim.Time(r.ExpFloat64() * 2e6) },
+		"constant":      func(r *rand.Rand) sim.Time { return 12345 },
+		"bimodal": func(r *rand.Rand) sim.Time {
+			if r.Intn(10) == 0 {
+				return sim.Time(50e6 + r.Int63n(1e6)) // slow tail
+			}
+			return sim.Time(1e6 + r.Int63n(1e5))
+		},
+	}
+	quantiles := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		rng := rand.New(rand.NewSource(7))
+		var h Hist
+		samples := make([]int64, 0, 4096)
+		for i := 0; i < 4096; i++ {
+			v := gen(rng)
+			h.Record(v)
+			samples = append(samples, int64(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			est := h.Quantile(q)
+			rank := int(q * float64(len(samples)))
+			if rank >= len(samples) {
+				rank = len(samples) - 1
+			}
+			exact := samples[rank]
+			if q > 0 {
+				// rank ceil(q*n): index ceil(q*n)-1
+				r := int(q*float64(len(samples)) + 0.9999999)
+				if r > len(samples) {
+					r = len(samples)
+				}
+				exact = samples[r-1]
+			} else {
+				exact = samples[0]
+			}
+			if int64(est) < exact {
+				t.Errorf("%s q=%g: est %d below exact %d", name, q, est, exact)
+			}
+			if float64(est) > float64(exact)*33.0/32.0+1 {
+				t.Errorf("%s q=%g: est %d exceeds exact %d by more than 33/32", name, q, est, exact)
+			}
+		}
+		if h.Min() != sim.Time(samples[0]) || h.Max() != sim.Time(samples[len(samples)-1]) {
+			t.Errorf("%s: min/max not exact: %d/%d vs %d/%d",
+				name, h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+		}
+	}
+}
+
+// TestHistExactStats: count, mean, min, max are exact (not bucketed).
+func TestHistExactStats(t *testing.T) {
+	var h Hist
+	vals := []sim.Time{5, 100, 1000, 999999, 3}
+	var sum sim.Time
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Mean() != sum/sim.Time(len(vals)) {
+		t.Errorf("mean = %d, want %d", h.Mean(), sum/sim.Time(len(vals)))
+	}
+	if h.Min() != 3 || h.Max() != 999999 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	h.Record(-50) // clamped to zero
+	if h.Min() != 0 {
+		t.Errorf("negative sample not clamped: min = %d", h.Min())
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+// TestRecordNoAlloc: the record path must not allocate (it runs inside
+// the hot loop of every driver).
+func TestRecordNoAlloc(t *testing.T) {
+	var h Hist
+	v := sim.Time(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = (v*31 + 7) % (1 << 40)
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %v times per call, want 0", allocs)
+	}
+}
+
+// --- open-loop arrival process ------------------------------------------
+
+// TestOpenArrivalsDeterministic: the Poisson arrival sequence is a pure
+// function of (Rate, Requests, Seed) — byte-stable across runs — and
+// is nondecreasing with positive offsets.
+func TestOpenArrivalsDeterministic(t *testing.T) {
+	o := Open{Rate: 1000, Requests: 256, Seed: 42}
+	a, b := o.Arrivals(), o.Arrivals()
+	if len(a) != 256 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across runs: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] <= 0 {
+			t.Fatalf("arrival %d not positive: %d", i, a[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %d < %d", i, a[i], a[i-1])
+		}
+	}
+	// A different seed or rate must produce a different sequence.
+	if c := (Open{Rate: 1000, Requests: 256, Seed: 43}).Arrivals(); c[0] == a[0] && c[1] == a[1] {
+		t.Error("seed does not influence arrivals")
+	}
+	if c := (Open{Rate: 2000, Requests: 256, Seed: 42}).Arrivals(); c[0] != a[0]/2 {
+		t.Errorf("rate scaling broken: %d vs %d/2", c[0], a[0])
+	}
+	// The empirical mean interarrival must be near 1/Rate (1 ms).
+	mean := float64(a[len(a)-1]) / float64(len(a))
+	if mean < 0.8e6 || mean > 1.25e6 {
+		t.Errorf("mean interarrival %.0f ns, want ~1e6", mean)
+	}
+}
+
+// --- drivers ------------------------------------------------------------
+
+// runSim executes fn as the main task of a bare kernel.
+func runSim(t *testing.T, fn func(tk *sim.Task)) {
+	t.Helper()
+	k := sim.New(1)
+	done := false
+	k.Spawn("load-test-main", func(tk *sim.Task) { fn(tk); done = true })
+	k.Run()
+	k.Shutdown()
+	if !done {
+		t.Fatal("driver test deadlocked")
+	}
+}
+
+// TestClosedDriver: N clients with a fixed service time produce exact
+// counts, the client count as the in-flight high-water mark, and the
+// service time as every percentile.
+func TestClosedDriver(t *testing.T) {
+	runSim(t, func(tk *sim.Task) {
+		const svc = sim.Time(1000)
+		st := Closed{Clients: 3, PerClient: 4}.Run(tk, func(t_ *sim.Task, client, seq int) error {
+			t_.Sleep(svc)
+			return nil
+		})
+		if st.Requests != 12 || st.Errors != 0 {
+			t.Errorf("requests/errors = %d/%d", st.Requests, st.Errors)
+		}
+		if st.InflightHWM != 3 {
+			t.Errorf("inflight HWM = %d, want 3", st.InflightHWM)
+		}
+		if st.Hist.Count() != 12 || st.Hist.P50() < svc {
+			t.Errorf("hist count=%d p50=%d", st.Hist.Count(), st.Hist.P50())
+		}
+		if st.Elapsed() != 4*svc {
+			t.Errorf("elapsed = %d, want %d (4 serial requests per client)", st.Elapsed(), 4*svc)
+		}
+		if tp := st.Throughput(); tp <= 0 {
+			t.Errorf("throughput = %f", tp)
+		}
+	})
+}
+
+// TestOpenDriverQueueing: when the service time exceeds the mean
+// interarrival time, the open-loop driver must keep offering load —
+// in-flight requests pile up and arrival-anchored latency grows well
+// past the service time.
+func TestOpenDriverQueueing(t *testing.T) {
+	runSim(t, func(tk *sim.Task) {
+		const svc = sim.Time(5e6) // 5 ms service
+		sem := sim.NewSemaphore(1)
+		st := Open{Rate: 1000, Requests: 50, Seed: 3}.Run(tk, func(t_ *sim.Task, i int) error {
+			sem.Acquire(t_) // single-server queue
+			t_.Sleep(svc)
+			sem.Release()
+			return nil
+		})
+		if st.Requests != 50 || st.Errors != 0 {
+			t.Errorf("requests/errors = %d/%d", st.Requests, st.Errors)
+		}
+		if st.InflightHWM < 5 {
+			t.Errorf("saturated open loop reached only %d in flight", st.InflightHWM)
+		}
+		// Latency is measured from scheduled arrival: the tail must show
+		// the queueing delay, far beyond one service time.
+		if st.Hist.P99() < 5*svc {
+			t.Errorf("p99 = %d, want queueing delay >> service time %d", st.Hist.P99(), svc)
+		}
+		if st.Hist.Min() < svc {
+			t.Errorf("min latency %d below service time %d", st.Hist.Min(), svc)
+		}
+	})
+}
+
+// TestOpenDriverErrorsCounted: failed requests are excluded from
+// goodput and the histogram but counted as errors.
+func TestOpenDriverErrorsCounted(t *testing.T) {
+	runSim(t, func(tk *sim.Task) {
+		errMark := errFor(t)
+		st := Open{Rate: 10000, Requests: 10, Seed: 1}.Run(tk, func(t_ *sim.Task, i int) error {
+			t_.Sleep(100)
+			if i%2 == 1 {
+				return errMark
+			}
+			return nil
+		})
+		if st.Requests != 5 || st.Errors != 5 {
+			t.Errorf("requests/errors = %d/%d, want 5/5", st.Requests, st.Errors)
+		}
+		if st.Hist.Count() != 5 {
+			t.Errorf("hist count = %d, want 5 (errors excluded)", st.Hist.Count())
+		}
+	})
+}
+
+type testErr string
+
+func (e testErr) Error() string { return string(e) }
+
+func errFor(t *testing.T) error { t.Helper(); return testErr("injected") }

@@ -6,32 +6,23 @@ package proc_test
 import (
 	"bytes"
 	"testing"
-	"time"
 
 	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/testbed"
 	"fractos/internal/wire"
 )
 
-func us(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+func us(f float64) sim.Time { return testbed.USec(f) }
 
-// run executes fn as the test's main task on a fresh cluster and runs
+// run executes fn as the test's main task on a fresh testbed and runs
 // the simulation to completion.
 func run(t *testing.T, cfg core.ClusterConfig, fn func(tk *sim.Task, cl *core.Cluster)) {
 	t.Helper()
-	cl := core.NewCluster(cfg)
-	done := false
-	cl.K.Spawn("test-main", func(tk *sim.Task) {
-		fn(tk, cl)
-		done = true
-	})
-	cl.K.Run()
-	cl.K.Shutdown()
-	if !done {
-		t.Fatal("test main task did not run to completion (deadlock?)")
-	}
+	testbed.RunT(t, testbed.SpecOf(cfg),
+		func(tk *sim.Task, d *testbed.Deployment) { fn(tk, d.Cl) })
 }
 
 func cpuCluster() core.ClusterConfig { return core.ClusterConfig{Nodes: 3, Placement: core.CtrlOnCPU} }

@@ -1,0 +1,27 @@
+package stacks
+
+import (
+	"fractos/internal/assert"
+	"fractos/internal/services"
+	"fractos/internal/sim"
+	"fractos/internal/testbed"
+)
+
+// Registry deploys the capability name-registry service (the trusted
+// bootstrap path) on a node.
+type Registry struct {
+	Node int
+
+	// Filled at deploy.
+	R *services.Registry
+}
+
+// Deploy implements testbed.Service.
+func (r *Registry) Deploy(tk *sim.Task, d *testbed.Deployment) {
+	r.R = services.NewRegistry(d.Cl, r.Node)
+	if err := r.R.Start(tk); err != nil {
+		assert.NoErr(err, "stacks/registry")
+	}
+}
+
+var _ testbed.Service = (*Registry)(nil)

@@ -1,0 +1,205 @@
+// Package stacks provides the declarative service specs deployed by a
+// testbed.Spec: the NVMe adaptor, the extent FS (with its three
+// backend modes), the GPU compute service, the capability registry,
+// and the face-verification application. Each spec is a
+// testbed.Service whose Deploy fills the spec's exported handle fields
+// in place; workloads keep the spec pointer and use the handles after
+// testbed.Run enters the main task.
+//
+// The package lives below internal/testbed so packages with internal
+// tests (fs, baseline, faceverify) can import the testbed core without
+// an import cycle; stacks imports them, not vice versa.
+package stacks
+
+import (
+	"fractos/internal/assert"
+	"fractos/internal/baseline"
+	"fractos/internal/cap"
+	"fractos/internal/device/nvme"
+	"fractos/internal/fs"
+	"fractos/internal/proc"
+	"fractos/internal/sim"
+	"fractos/internal/testbed"
+)
+
+// NVMe deploys an NVMe device plus its adaptor Process on a node.
+type NVMe struct {
+	Node int
+	Name string             // adaptor Process name; default "nvme-adaptor"
+	Cfg  nvme.AdaptorConfig // zero value = defaults
+	Dev  *nvme.Device       // pre-set to share a device; created if nil
+	Ad   *nvme.Adaptor      // filled at deploy
+}
+
+// Deploy implements testbed.Service.
+func (s *NVMe) Deploy(tk *sim.Task, d *testbed.Deployment) {
+	if s.Name == "" {
+		s.Name = "nvme-adaptor"
+	}
+	if s.Dev == nil {
+		s.Dev = nvme.NewDevice(d.Cl.K, nvme.DefaultConfig())
+	}
+	s.Ad = nvme.NewAdaptor(d.Cl, s.Node, s.Name, s.Dev, s.Cfg)
+	if err := s.Ad.Start(tk); err != nil {
+		assert.NoErr(err, "stacks/nvme")
+	}
+}
+
+// FS deploys the extent FS service on a node, wired to an NVMe adaptor
+// deployed earlier in the Services list.
+type FS struct {
+	Node    int
+	Name    string // FS Process name; default "fs-service"
+	Cfg     fs.Config
+	Backend *NVMe       // must appear before this spec in Spec.Services
+	Svc     *fs.Service // filled at deploy
+}
+
+// Deploy implements testbed.Service.
+func (s *FS) Deploy(tk *sim.Task, d *testbed.Deployment) {
+	if s.Name == "" {
+		s.Name = "fs-service"
+	}
+	if s.Backend == nil || s.Backend.Ad == nil {
+		assert.Failf("stacks/fs: Backend NVMe spec missing or not yet deployed")
+	}
+	s.Svc = fs.NewService(d.Cl, s.Node, s.Name, s.Cfg)
+	if err := s.Svc.Wire(s.Backend.Ad); err != nil {
+		assert.NoErr(err, "stacks/fs")
+	}
+	if err := s.Svc.Start(tk); err != nil {
+		assert.NoErr(err, "stacks/fs")
+	}
+}
+
+// StorageKind selects the storage system under test (Figure 10's
+// lines).
+type StorageKind int
+
+const (
+	// StorFS stages every byte through the FS Process.
+	StorFS StorageKind = iota
+	// StorDAX leases extents to the client for direct device access.
+	StorDAX
+	// StorDisagg is the NVMe-oF disaggregated baseline backend.
+	StorDisagg
+)
+
+// Storage deploys the full storage benchmark stack of §6.4: an NVMe
+// device, the FS service (or the disaggregated baseline backend), and
+// a client Process holding an open benchmark file. The zero value
+// places the client on node 0, the FS on node 1, and the device on
+// node 2 — the paper's three-node storage topology.
+type Storage struct {
+	Kind     StorageKind
+	ForWrite bool // reopen the benchmark file writable
+
+	ClientNode, FSNode, DevNode int    // all zero = 0/1/2
+	FileName                    string // default "bench.bin"
+	FileBytes                   uint64 // default fs.MaxExtents * fs.ExtentSize (8 MiB)
+	ClientMem                   int    // default 12 MiB
+
+	// Filled at deploy.
+	Client *proc.Process
+	File   *fs.File
+	Svc    *fs.Service
+	Open   proc.Cap // client's open-file Request capability
+	// DropCaches / SetCacheSize act on the baseline backend's block
+	// cache; DropCaches is a no-op for the FractOS kinds (the FractOS
+	// FS has no cache) and SetCacheSize is nil for them.
+	DropCaches   func()
+	SetCacheSize func(int64)
+
+	mem map[uint64]proc.Cap // size → cached client Memory capability
+}
+
+// Deploy implements testbed.Service. The construction order is the
+// evaluation's reference order (device, FS service, backend wiring,
+// service start, client attach, file create + reopen, cache drop);
+// changing it would shift virtual timestamps during setup, though not
+// the steady-state metrics measured afterwards.
+func (s *Storage) Deploy(tk *sim.Task, d *testbed.Deployment) {
+	if s.ClientNode == 0 && s.FSNode == 0 && s.DevNode == 0 {
+		s.FSNode, s.DevNode = 1, 2
+	}
+	if s.FileName == "" {
+		s.FileName = "bench.bin"
+	}
+	if s.FileBytes == 0 {
+		s.FileBytes = uint64(fs.MaxExtents) * fs.ExtentSize
+	}
+	if s.ClientMem == 0 {
+		s.ClientMem = 12 << 20
+	}
+	cl := d.Cl
+	dev := nvme.NewDevice(cl.K, nvme.DefaultConfig())
+	s.Svc = fs.NewService(cl, s.FSNode, "fs", fs.Config{})
+	switch s.Kind {
+	case StorDisagg:
+		be := baseline.NewDisaggregatedBackend(cl, s.FSNode, s.DevNode, dev)
+		s.Svc.WireBackend(be)
+		s.DropCaches = be.Initiator().DropCaches
+		s.SetCacheSize = be.Initiator().SetCacheSize
+	default:
+		ad := nvme.NewAdaptor(cl, s.DevNode, "nvme", dev, nvme.AdaptorConfig{})
+		if err := ad.Start(tk); err != nil {
+			assert.NoErr(err, "stacks/storage")
+		}
+		if err := s.Svc.Wire(ad); err != nil {
+			assert.NoErr(err, "stacks/storage")
+		}
+		s.DropCaches = func() {}
+	}
+	if err := s.Svc.Start(tk); err != nil {
+		assert.NoErr(err, "stacks/storage")
+	}
+	s.Client = proc.Attach(cl, s.ClientNode, "stor-client", s.ClientMem)
+	open, err := proc.GrantCap(s.Svc.P, s.Svc.Open, s.Client)
+	if err != nil {
+		assert.NoErr(err, "stacks/storage")
+	}
+	s.Open = open
+	mode := uint64(fs.OpenRead | fs.OpenWrite | fs.OpenCreate)
+	if _, err := fs.OpenFile(tk, s.Client, open, s.FileName, mode, s.FileBytes); err != nil {
+		assert.NoErr(err, "stacks/storage")
+	}
+	reopen := uint64(fs.OpenRead)
+	if s.ForWrite {
+		reopen |= fs.OpenWrite
+	}
+	if s.Kind == StorDAX {
+		reopen |= fs.OpenDAX
+	}
+	f, err := fs.OpenFile(tk, s.Client, open, s.FileName, reopen, 0)
+	if err != nil {
+		assert.NoErr(err, "stacks/storage")
+	}
+	s.File = f
+	s.mem = map[uint64]proc.Cap{}
+	s.DropCaches()
+}
+
+// Buf returns (caching by size) a client Memory capability of exactly
+// n bytes.
+func (s *Storage) Buf(tk *sim.Task, n uint64) proc.Cap {
+	if c, ok := s.mem[n]; ok {
+		return c
+	}
+	c := s.Alloc(tk, n)
+	s.mem[n] = c
+	return c
+}
+
+// Alloc registers a fresh (uncached) client Memory capability of n
+// bytes — one per concurrent worker in throughput runs.
+func (s *Storage) Alloc(tk *sim.Task, n uint64) proc.Cap {
+	c, _, err := s.Client.AllocMemory(tk, int(n), cap.MemRights)
+	if err != nil {
+		assert.NoErr(err, "stacks/storage")
+	}
+	return c
+}
+
+var _ testbed.Service = (*NVMe)(nil)
+var _ testbed.Service = (*FS)(nil)
+var _ testbed.Service = (*Storage)(nil)

@@ -1,0 +1,195 @@
+// Package testbed is the declarative deployment layer shared by the
+// evaluation harness (internal/exp), the runnable examples, and the
+// integration tests. A Spec describes a cluster — node count,
+// Controller placement, fabric profile, seed — plus an ordered list of
+// Services to deploy (GPU adaptor, NVMe adaptor, FS, registry,
+// face-verification application, ...). Run builds the kernel, fabric,
+// Controllers, and capability bootstrap in one call, deploys the
+// services inside the simulation's main task, and hands control to the
+// workload.
+//
+// The layer exists so experiments describe *what* runs where and
+// workloads describe *load*, instead of every file hand-assembling
+// core.NewCluster plus bespoke service wiring. Determinism contract:
+// Run is a pure function of the Spec and the workload — services are
+// deployed strictly in slice order inside the main task, the only
+// randomness is the kernel's seeded source, and two Runs of the same
+// Spec produce byte-identical fabric traces.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fractos/internal/assert"
+	"fractos/internal/core"
+	"fractos/internal/fabric"
+	"fractos/internal/proc"
+	"fractos/internal/services"
+	"fractos/internal/sim"
+)
+
+// TB is the subset of *testing.T the testbed needs. It is duck-typed
+// so the package never links "testing" into non-test binaries (the
+// examples use Run; tests use RunT).
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Service is one deployable component of a testbed. Deploy runs inside
+// the simulation's main task, before the workload, in Spec.Services
+// order; it should fill the spec's exported handle fields so the
+// workload can use the service. Deployment failures are harness bugs
+// and are reported through internal/assert.
+type Service interface {
+	Deploy(tk *sim.Task, d *Deployment)
+}
+
+// Spec declares a cluster deployment. The zero value is a 3-node
+// cluster with per-node host-CPU Controllers, the default fabric
+// profile, seed 0, and no services — exactly core.NewCluster's
+// defaults.
+type Spec struct {
+	Nodes     int
+	Placement core.Placement
+	Ctrl      core.Config    // Controller template; Loc is set per controller
+	Profile   fabric.Profile // zero value = fabric.DefaultProfile()
+	Seed      int64
+	// Watch adds a failure-injection NodeWatch to the deployment
+	// (examples/failover, recovery tests).
+	Watch bool
+	// Services are deployed in order inside the main task before the
+	// workload runs.
+	Services []Service
+}
+
+// ClusterConfig converts the Spec's topology fields for core.NewCluster.
+func (s Spec) ClusterConfig() core.ClusterConfig {
+	return core.ClusterConfig{
+		Nodes:     s.Nodes,
+		Placement: s.Placement,
+		Ctrl:      s.Ctrl,
+		Profile:   s.Profile,
+		Seed:      s.Seed,
+	}
+}
+
+// SpecOf converts a core.ClusterConfig (the pre-testbed configuration
+// type still used by call sites that sweep topology parameters) into
+// the equivalent Spec.
+func SpecOf(cfg core.ClusterConfig, svcs ...Service) Spec {
+	return Spec{
+		Nodes:     cfg.Nodes,
+		Placement: cfg.Placement,
+		Ctrl:      cfg.Ctrl,
+		Profile:   cfg.Profile,
+		Seed:      cfg.Seed,
+		Services:  svcs,
+	}
+}
+
+// Deployment is a running testbed: the cluster plus whatever the
+// Spec's services exposed at deploy time.
+type Deployment struct {
+	Cl *core.Cluster
+	// Watch is non-nil iff Spec.Watch was set.
+	Watch *services.NodeWatch
+}
+
+// K returns the simulation kernel.
+func (d *Deployment) K() *sim.Kernel { return d.Cl.K }
+
+// Net returns the fabric.
+func (d *Deployment) Net() *fabric.Net { return d.Cl.Net }
+
+// Attach creates a Process on a node with memBytes of registered
+// memory, attached to the node's Controller.
+func (d *Deployment) Attach(node int, name string, memBytes int) *proc.Process {
+	return proc.Attach(d.Cl, node, name, memBytes)
+}
+
+// Spawn starts an auxiliary task (load-driver workers, background
+// services).
+func (d *Deployment) Spawn(name string, fn func(tk *sim.Task)) { d.Cl.K.Spawn(name, fn) }
+
+// Run builds the cluster described by s, deploys its services in order
+// inside the main task, invokes fn as the workload, and runs the
+// simulation to completion; it panics (via internal/assert) if the
+// main task deadlocks. This is the single entry point every
+// experiment, example, and heavy integration test goes through.
+func Run(s Spec, fn func(tk *sim.Task, d *Deployment)) {
+	if !run(s, fn) {
+		assert.Failf("testbed: main task did not complete (deadlock)")
+	}
+}
+
+// RunT is Run for tests: an incomplete main task fails the test
+// instead of panicking the process.
+func RunT(tb TB, s Spec, fn func(tk *sim.Task, d *Deployment)) {
+	tb.Helper()
+	if !run(s, fn) {
+		tb.Fatalf("testbed: main task did not complete (deadlock)")
+	}
+}
+
+func run(s Spec, fn func(tk *sim.Task, d *Deployment)) bool {
+	cl := core.NewCluster(s.ClusterConfig())
+	d := &Deployment{Cl: cl}
+	if s.Watch {
+		d.Watch = services.NewNodeWatch(cl)
+	}
+	done := false
+	cl.K.Spawn("tb-main", func(tk *sim.Task) {
+		for _, svc := range s.Services {
+			svc.Deploy(tk, d)
+		}
+		fn(tk, d)
+		done = true
+	})
+	cl.K.Run()
+	cl.K.Shutdown()
+	return done
+}
+
+// --- shared formatting / unit helpers -------------------------------
+//
+// Folded here from the per-package copies that used to live in
+// internal/exp, the examples, and the integration tests.
+
+// Rand returns a deterministic random source for workload generation.
+// (The simdet analyzer forbids the global math/rand functions.)
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// USec converts microseconds to virtual time.
+func USec(f float64) sim.Time { return sim.Time(f * float64(time.Microsecond)) }
+
+// Us formats a virtual duration in microseconds with two decimals.
+func Us(d sim.Time) string { return fmt.Sprintf("%.2f", float64(d)/1e3) }
+
+// Ms formats a virtual duration in milliseconds with three decimals.
+func Ms(d sim.Time) string { return fmt.Sprintf("%.3f", float64(d)/1e6) }
+
+// Mbps formats bytes moved over a duration as whole MB/s.
+func Mbps(bytes int, d sim.Time) string { return fmt.Sprintf("%.0f", MbpsVal(bytes, d)) }
+
+// MbpsVal computes bytes moved over a duration in MB/s.
+func MbpsVal(bytes int, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(d) / 1e9) / 1e6
+}
+
+// SizeLabel formats a byte count compactly (4K, 1M, 17B).
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
