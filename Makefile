@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json eval trace examples clean
+.PHONY: all build vet lint test race chaos bench bench-json eval trace examples clean
 
 all: build vet lint test
 
@@ -14,7 +14,8 @@ vet:
 	gofmt -l . | (! grep .) || (echo "gofmt needed"; exit 1)
 
 # lint runs the repository's custom analyzers (capcheck, epochguard,
-# panicfree, simdet, statuscheck); see docs/STATIC_ANALYSIS.md.
+# panicfree, sendcheck, simdet, statuscheck); see
+# docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/fractos-vet
 
@@ -24,14 +25,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the fault-injection suites (docs/FAULTS.md) under the
+# race detector: the soak matrix and crash/partition tests in core,
+# the heartbeat detector, the client retry policies, and the
+# chaos testbed/experiment wiring.
+chaos:
+	$(GO) test -race -run 'Chaos|Crash|Heartbeat|Retry|Breaker|Backoff|Fault|Watch' \
+		./internal/core/ ./internal/fabric/ ./internal/proc/ \
+		./internal/services/ ./internal/testbed/ ./internal/exp/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the wall-clock perf suite (internal/perf) and writes
 # the machine-readable report tracked across PRs; see
 # docs/PERFORMANCE.md for the methodology and how to compare runs.
-# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR4.json
-BENCH_OUT ?= BENCH_PR3.json
+# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR4.json
 
 bench-json:
 	$(GO) run ./cmd/fractos-bench -json > $(BENCH_OUT)
@@ -50,6 +60,7 @@ examples:
 	$(GO) run ./examples/dataflow
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/faceverify
+	$(GO) run ./examples/chaos
 
 clean:
 	$(GO) clean ./...

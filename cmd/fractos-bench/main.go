@@ -82,7 +82,17 @@ func runPerf(jsonOut bool, names string) {
 		os.Exit(1)
 	}
 	if jsonOut {
-		if err := perf.WriteJSON(os.Stdout, results); err != nil {
+		// The tracked report also carries the chaos-fv availability
+		// metrics (goodput dip, error rate, MTTR): they are
+		// deterministic virtual-time numbers, so any drift across PRs
+		// is a real behavior change, not benchmark noise.
+		var experiments map[string]float64
+		if len(only) == 0 {
+			if s, ok := exp.Find("chaos-fv"); ok {
+				experiments = s.Run().Metrics
+			}
+		}
+		if err := perf.WriteJSON(os.Stdout, results, experiments); err != nil {
 			fmt.Fprintln(os.Stderr, "fractos-bench:", err)
 			os.Exit(1)
 		}

@@ -2,7 +2,8 @@
 // (tools/analyzers/...) over the module: capability-validation order
 // (capcheck), epoch fencing of peer handlers (epochguard), simulator
 // determinism (simdet), wire.Status hygiene and completion protocol
-// (statuscheck), and the no-panic policy (panicfree).
+// (statuscheck), Net.Send delivery-failure hygiene (sendcheck), and
+// the no-panic policy (panicfree).
 //
 // Usage:
 //
@@ -27,6 +28,7 @@ import (
 	"fractos/tools/analyzers/epochguard"
 	"fractos/tools/analyzers/loader"
 	"fractos/tools/analyzers/panicfree"
+	"fractos/tools/analyzers/sendcheck"
 	"fractos/tools/analyzers/simdet"
 	"fractos/tools/analyzers/statuscheck"
 )
@@ -36,6 +38,7 @@ var all = []*analysis.Analyzer{
 	capcheck.Analyzer,
 	epochguard.Analyzer,
 	panicfree.Analyzer,
+	sendcheck.Analyzer,
 	simdet.Analyzer,
 	statuscheck.Analyzer,
 }

@@ -40,6 +40,10 @@ type Peer struct {
 	nextToken uint64
 	pending   map[uint64]*sim.Future[*wire.Raw]
 	incoming  *sim.Chan[Request]
+	// SendFailed counts replies whose requester vanished before the
+	// response went out (observed, not silent — the baseline's
+	// connection-oriented transports surface this at the sender too).
+	SendFailed int
 }
 
 // NewPeer attaches a baseline endpoint and starts its receive loop.
@@ -102,11 +106,14 @@ func (p *Peer) Serve(t *sim.Task) (Request, bool) {
 	return p.incoming.Recv(t)
 }
 
-// Reply answers a request.
+// Reply answers a request. A reply to a requester that has already
+// torn down its endpoint is counted, not silently dropped.
 func (p *Peer) Reply(t *sim.Task, req Request, data []byte, isData bool) {
-	p.net.Send(p.EP.ID, req.From, &wire.Raw{
+	if !p.net.Send(p.EP.ID, req.From, &wire.Raw{
 		Kind: req.Kind | replyBit, Token: req.Token, IsData: isData, Data: data,
-	})
+	}) {
+		p.SendFailed++
+	}
 }
 
 // u64 little-endian helpers for baseline payload headers.

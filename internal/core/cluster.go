@@ -40,6 +40,13 @@ type ClusterConfig struct {
 	Ctrl      Config // template; Loc is set per controller
 	Profile   fabric.Profile
 	Seed      int64
+
+	// Faults, when Enabled, installs the fault-injection layer on the
+	// fabric (docs/FAULTS.md) and — unless the Ctrl template already
+	// sets one — arms the Controllers' retransmission protocol with
+	// DefaultRPCTimeout. A zero Faults keeps the fabric and the
+	// Controllers byte-identical to a fault-free deployment.
+	Faults fabric.Faults
 }
 
 // Cluster is a convenience harness that assembles a kernel, a fabric,
@@ -63,6 +70,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	k := sim.New(cfg.Seed)
 	net := fabric.New(k, cfg.Profile)
+	if cfg.Faults.Enabled() {
+		net.InstallFaults(cfg.Faults)
+		if cfg.Ctrl.RPCTimeout == 0 {
+			cfg.Ctrl.RPCTimeout = DefaultRPCTimeout
+		}
+	}
 	cl := &Cluster{K: k, Net: net, placement: cfg.Placement}
 
 	mk := func(id cap.ControllerID, loc fabric.Location) {

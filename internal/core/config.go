@@ -100,6 +100,19 @@ type Config struct {
 	// managed Process (§4's quota on capability-space memory).
 	// 0 means unlimited.
 	CapQuota int
+	// RPCTimeout arms sequence-numbered retransmission on the
+	// inter-Controller call path: an outstanding call unanswered for
+	// this long (virtual time) is resent, with the timeout doubling on
+	// every attempt. 0 disables retransmission — the right setting for
+	// a reliable fabric, where it would only add idle timer events.
+	// Deployments with a lossy fabric (fabric.Faults) must set it; the
+	// testbed layer arms DefaultRPCTimeout automatically when a chaos
+	// profile is configured.
+	RPCTimeout sim.Time
+	// RPCRetries bounds send attempts per call (first send included).
+	// After the last timeout expires the call resolves with
+	// StatusAborted. 0 means DefaultRPCRetries when RPCTimeout > 0.
+	RPCRetries int
 }
 
 // Defaults for Config's zero fields.
@@ -107,6 +120,12 @@ const (
 	DefaultWindow      = 32
 	DefaultBounceChunk = 16 << 10
 	DefaultBouncePairs = 8
+	// DefaultRPCTimeout/Retries: first resend after 5 ms virtual,
+	// doubling each attempt — six attempts cover a ~315 ms outage,
+	// comfortably past the partition windows the chaos suite injects
+	// while staying well above any legitimate reply latency.
+	DefaultRPCTimeout = 5 * sim.Time(time.Millisecond)
+	DefaultRPCRetries = 6
 )
 
 func (c Config) withDefaults() Config {
@@ -121,6 +140,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BouncePairs == 0 {
 		c.BouncePairs = DefaultBouncePairs
+	}
+	if c.RPCTimeout > 0 && c.RPCRetries == 0 {
+		c.RPCRetries = DefaultRPCRetries
 	}
 	return c
 }

@@ -38,6 +38,11 @@ type Controller struct {
 
 	pending   map[uint64]pendingCall
 	nextToken uint64
+	// dedup is the receiver half of the at-most-once RPC contract:
+	// per-peer-endpoint caches of replies already sent, so a
+	// retransmitted (or fabric-duplicated) request is answered from
+	// the cache instead of being re-executed. See docs/FAULTS.md.
+	dedup map[fabric.EndpointID]*dedupState
 
 	bounceFree []int          // free bounce-chunk offsets in our arena
 	bounceSem  *sim.Semaphore // admits BouncePairs concurrent copies
@@ -48,11 +53,32 @@ type Controller struct {
 
 // pendingCall is an outstanding inter-Controller request awaiting its
 // response. The peer is recorded so calls can be aborted when that
-// Controller is observed to have failed or rebooted.
+// Controller is observed to have failed or rebooted. build and
+// attempt drive timeout-based retransmission over a lossy fabric
+// (cfg.RPCTimeout): build re-materializes the frame with the same
+// token, attempt invalidates stale timers after a resend.
 type pendingCall struct {
-	peer cap.ControllerID
-	cb   func(wire.Message)
+	peer    cap.ControllerID
+	cb      func(wire.Message)
+	build   func(token uint64) wire.Message
+	attempt int
 }
+
+// dedupState is the per-sender at-most-once cache: replies already
+// produced for this peer endpoint, keyed by the request token, with
+// FIFO eviction. Tokens are minted monotonically per sender, so a hit
+// is always a retransmission (or fabric duplicate) of a request whose
+// side effects already happened.
+type dedupState struct {
+	replies map[uint64]wire.Message
+	order   []uint64 // insertion order, for eviction
+}
+
+// dedupCap bounds cached replies per peer. Retransmissions arrive
+// within cfg.RPCRetries timeouts of the original, long before a busy
+// peer can mint dedupCap newer tokens, so eviction never breaks the
+// at-most-once contract in practice.
+const dedupCap = 512
 
 // procState is the Controller-side record of one managed Process.
 type procState struct {
@@ -86,6 +112,7 @@ func New(k *sim.Kernel, net *fabric.Net, id cap.ControllerID, cfg Config) *Contr
 		peerEPs:    make(map[fabric.EndpointID]bool),
 		peerEpochs: make(map[cap.ControllerID]cap.Epoch),
 		pending:    make(map[uint64]pendingCall),
+		dedup:      make(map[fabric.EndpointID]*dedupState),
 		bounceSem:  sim.NewSemaphore(cfg.BouncePairs),
 	}
 	// Descending order: popBounce takes from the end, so chunks are
@@ -240,6 +267,19 @@ func (c *Controller) dispatch(t *sim.Task, d fabric.Delivery) {
 		return
 	}
 
+	// Health probes are answered for anyone who can reach us — the
+	// monitoring service (services.NodeWatch) is not a peer Controller
+	// and has no capability state here. A crashed Controller never
+	// answers: serve() discards deliveries while c.down, which is
+	// exactly the silence the failure detector interprets.
+	if ping, ok := d.Msg.(*wire.WatchPing); ok {
+		pong := &wire.WatchPong{Seq: ping.Seq, Ctrl: c.id, Epoch: c.epoch}
+		if !c.net.Send(c.ep.ID, d.From, pong) {
+			c.metrics.SendFailed++
+		}
+		return
+	}
+
 	// Only pre-deployed peer Controllers speak the Controller
 	// protocol; traffic from any other endpoint is dropped.
 	if !c.peerEPs[d.From] {
@@ -306,7 +346,48 @@ func (c *Controller) dispatchSyscall(t *sim.Task, ps *procState, m wire.Message)
 	}
 }
 
+// peerToken extracts the request token from a token-carrying peer
+// request (the messages answered through reply and thus subject to
+// at-most-once dedup). ok is false for fire-and-forget peer traffic
+// (CtrlNotify, CtrlEpoch), which is idempotent by construction.
+func peerToken(m wire.Message) (uint64, bool) {
+	switch m := m.(type) {
+	case *wire.CtrlDeriveMem:
+		return m.Token, true
+	case *wire.CtrlDeriveReq:
+		return m.Token, true
+	case *wire.CtrlRevtree:
+		return m.Token, true
+	case *wire.CtrlRevoke:
+		return m.Token, true
+	case *wire.CtrlValidate:
+		return m.Token, true
+	case *wire.CtrlInvoke:
+		return m.Token, true
+	case *wire.CtrlCleanup:
+		return m.Token, true
+	case *wire.CtrlWatch:
+		return m.Token, true
+	}
+	return 0, false
+}
+
 func (c *Controller) dispatchPeer(t *sim.Task, from fabric.EndpointID, m wire.Message) {
+	// At-most-once execution: a token we have already answered for
+	// this peer endpoint is a retransmission (or a fabric duplicate) —
+	// its side effects must not run again. Re-send the cached reply:
+	// the original may have been lost on the way back.
+	if tok, ok := peerToken(m); ok {
+		if ds := c.dedup[from]; ds != nil {
+			if cached, hit := ds.replies[tok]; hit {
+				c.metrics.DedupHits++
+				if !c.net.Send(c.ep.ID, from, cached) {
+					c.metrics.SendFailed++
+				}
+				return
+			}
+		}
+	}
 	switch m := m.(type) {
 	case *wire.CtrlDeriveMem:
 		c.peerDeriveMem(from, m)
@@ -333,16 +414,58 @@ func (c *Controller) dispatchPeer(t *sim.Task, from fabric.EndpointID, m wire.Me
 	}
 }
 
-// complete sends a syscall completion back to the Process.
+// complete sends a syscall completion back to the Process. A false
+// Send means the Process's endpoint was severed after the failed
+// check — the failure path will revoke its state, so the lost
+// completion is correct behavior, not silent loss.
 func (c *Controller) complete(ps *procState, token uint64, st wire.Status, cid cap.CapID, aux uint64) {
 	if ps.failed {
 		return
 	}
-	c.net.Send(c.ep.ID, ps.ep.ID, &wire.Completion{Token: token, Status: st, Cid: cid, Aux: aux})
+	if !c.net.Send(c.ep.ID, ps.ep.ID, &wire.Completion{Token: token, Status: st, Cid: cid, Aux: aux}) {
+		c.metrics.SendFailed++
+	}
 }
 
-// call issues an inter-Controller request; cb runs in the serving task
-// when the matching response arrives.
+// reply answers a token-carrying peer request, recording the reply in
+// the at-most-once cache so a retransmission of the same request is
+// answered identically without re-execution. All peer handlers must
+// send their responses through here.
+func (c *Controller) reply(from fabric.EndpointID, token uint64, m wire.Message) {
+	ds := c.dedup[from]
+	if ds == nil {
+		ds = &dedupState{replies: make(map[uint64]wire.Message)}
+		c.dedup[from] = ds
+	}
+	if _, exists := ds.replies[token]; !exists {
+		ds.replies[token] = m
+		ds.order = append(ds.order, token)
+		if len(ds.order) > dedupCap {
+			delete(ds.replies, ds.order[0])
+			ds.order = ds.order[1:]
+		}
+	}
+	if !c.net.Send(c.ep.ID, from, m) {
+		// The peer's endpoint is severed (crash in progress). Its
+		// epoch announcement will abort the caller's pending call.
+		c.metrics.SendFailed++
+	}
+}
+
+// dropDedup forgets the at-most-once cache for a peer endpoint. Called
+// when that peer is observed rebooted: replies minted for its previous
+// incarnation must never answer tokens of the next one.
+func (c *Controller) dropDedup(ep fabric.EndpointID) {
+	delete(c.dedup, ep)
+}
+
+// call issues an inter-Controller request; cb runs exactly once, in
+// simulation context, when the matching response arrives — or with a
+// synthetic failure CtrlAck when the call cannot complete: the peer's
+// endpoint is torn down (StatusNoProc), the peer is observed dead or
+// rebooted (StatusAborted via abortPendingTo), this Controller itself
+// crashes (StatusAborted via Crash), or, with cfg.RPCTimeout armed,
+// every retransmission attempt times out (StatusAborted).
 func (c *Controller) call(peer cap.ControllerID, build func(token uint64) wire.Message, cb func(wire.Message)) {
 	ep, ok := c.peers[peer]
 	if !ok {
@@ -351,11 +474,42 @@ func (c *Controller) call(peer cap.ControllerID, build func(token uint64) wire.M
 	}
 	c.nextToken++
 	token := c.nextToken
-	c.pending[token] = pendingCall{peer: peer, cb: cb}
+	c.pending[token] = pendingCall{peer: peer, cb: cb, build: build}
 	if !c.net.Send(c.ep.ID, ep, build(token)) {
+		// A torn-down endpoint is locally observable (unlike in-flight
+		// loss): fail fast, no retransmission.
 		delete(c.pending, token)
 		cb(&wire.CtrlAck{Status: wire.StatusNoProc})
+		return
 	}
+	if c.cfg.RPCTimeout > 0 {
+		c.k.After(c.cfg.RPCTimeout, func() { c.resend(token, 0) })
+	}
+}
+
+// resend fires when attempt's timeout expires: if the call is still
+// unanswered, retransmit with the same token and double the timeout;
+// after cfg.RPCRetries attempts resolve it as aborted. Stale timers
+// (call answered, or already superseded by a later attempt) are
+// no-ops, so arming them never perturbs a healthy exchange.
+func (c *Controller) resend(token uint64, attempt int) {
+	pc, ok := c.pending[token]
+	if !ok || pc.attempt != attempt || c.down {
+		return
+	}
+	if attempt+1 >= c.cfg.RPCRetries {
+		c.metrics.RPCAborted++
+		c.resolvePending(token, &wire.CtrlAck{Token: token, Status: wire.StatusAborted})
+		return
+	}
+	pc.attempt = attempt + 1
+	c.pending[token] = pc
+	c.metrics.Retransmits++
+	if !c.net.Send(c.ep.ID, c.peers[pc.peer], pc.build(token)) {
+		c.resolvePending(token, &wire.CtrlAck{Token: token, Status: wire.StatusNoProc})
+		return
+	}
+	c.k.After(c.cfg.RPCTimeout<<uint(pc.attempt), func() { c.resend(token, pc.attempt) })
 }
 
 // callF is call with a future, for spawned sub-tasks.
@@ -395,6 +549,27 @@ func (c *Controller) abortPendingTo(peer cap.ControllerID) {
 	for _, tok := range tokens {
 		pc := c.pending[tok]
 		delete(c.pending, tok)
+		pc.cb(&wire.CtrlAck{Token: tok, Status: wire.StatusAborted})
+	}
+}
+
+// abortAllPending fails every outstanding inter-Controller call, in
+// ascending token order, with StatusAborted. Used by Crash so that a
+// failing Controller deterministically unwinds its own in-flight RPCs
+// instead of leaking their callbacks across the reboot.
+func (c *Controller) abortAllPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	tokens := make([]uint64, 0, len(c.pending))
+	for tok := range c.pending {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	for _, tok := range tokens {
+		pc := c.pending[tok]
+		delete(c.pending, tok)
+		c.metrics.RPCAborted++
 		pc.cb(&wire.CtrlAck{Token: tok, Status: wire.StatusAborted})
 	}
 }

@@ -110,6 +110,11 @@ func (c *Controller) FailProcess(pid cap.ProcID) bool {
 // and all state is lost. Per §3.6, all its Processes are considered
 // failed and their capabilities revoked; peers learn about it from the
 // external node-monitoring service via AnnounceEpoch after Reboot.
+//
+// Every in-flight cross-Controller call this instance issued is
+// resolved with StatusAborted, in ascending token order: a crash must
+// not leak pending callbacks (continuations parked in sub-tasks would
+// otherwise wait forever on futures nobody can resolve).
 func (c *Controller) Crash() {
 	if c.down {
 		return
@@ -122,6 +127,7 @@ func (c *Controller) Crash() {
 			c.net.Disconnect(ps.ep.ID)
 		}
 	}
+	c.abortAllPending()
 }
 
 // Reboot brings a crashed Controller back with a fresh epoch and empty
@@ -138,6 +144,11 @@ func (c *Controller) Reboot() {
 	c.procs = make(map[cap.ProcID]*procState)
 	c.byEP = make(map[fabric.EndpointID]*procState)
 	c.pending = make(map[uint64]pendingCall)
+	// The at-most-once cache died with the instance: replies recorded
+	// before the crash must not answer post-reboot retransmissions
+	// (their tokens reference state that no longer exists — the sender
+	// aborts them via the epoch announcement instead).
+	c.dedup = make(map[fabric.EndpointID]*dedupState)
 	c.down = false
 	c.net.Reconnect(c.ep.ID)
 	c.AnnounceEpoch()
@@ -145,9 +156,14 @@ func (c *Controller) Reboot() {
 
 // AnnounceEpoch broadcasts the Controller's current epoch, normally on
 // behalf of the external monitoring service (Zookeeper in the paper).
+// Epoch announcements are fire-and-forget but idempotent and
+// monotonic; the heartbeat NodeWatch re-announces on every suspicion
+// cycle, so a frame lost here is repaired by the detector.
 func (c *Controller) AnnounceEpoch() {
 	for _, peer := range c.sortedPeers() {
-		c.net.Send(c.ep.ID, c.peers[peer], &wire.CtrlEpoch{Ctrl: c.id, Epoch: c.epoch})
+		if !c.net.Send(c.ep.ID, c.peers[peer], &wire.CtrlEpoch{Ctrl: c.id, Epoch: c.epoch}) {
+			c.metrics.SendFailed++
+		}
 	}
 }
 

@@ -113,8 +113,11 @@ func (c *Controller) deliverInvoke(ref cap.Ref, imms []wire.ImmArg, extra []capS
 }
 
 // peerInvoke handles an invocation arriving from another Controller.
+// The reply goes through the at-most-once cache: deliverInvoke is not
+// idempotent (it delivers a descriptor to the provider), so a
+// retransmitted CtrlInvoke must be answered without re-delivering.
 func (c *Controller) peerInvoke(t *sim.Task, from fabric.EndpointID, m *wire.CtrlInvoke) {
 	c.metrics.Invokes++
 	st := c.deliverInvoke(m.Ref, m.Imms, xferToArgs(m.Caps))
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+	c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: st})
 }

@@ -25,6 +25,12 @@ type Metrics struct {
 	QuotaRejected  int64 // installs refused by the quota
 	DeliveriesSent int64 // request_receive descriptors delivered
 	Backpressured  int64 // deliveries queued on a full window
+
+	// Lossy-fabric resilience (docs/FAULTS.md).
+	Retransmits int64 // inter-Controller requests resent on timeout
+	RPCAborted  int64 // calls resolved StatusAborted (retries exhausted, peer epoch bump, own crash)
+	DedupHits   int64 // retransmitted requests answered from the at-most-once cache
+	SendFailed  int64 // sends to torn-down endpoints (observed, not silent)
 }
 
 // Metrics returns a snapshot of the Controller's counters.
@@ -75,8 +81,9 @@ func (c *Controller) Footprint() Footprint {
 // String renders the counters compactly.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"null=%d mem=%d copy=%d(%dB) reqcreate=%d invoke=%d capop=%d revoked=%d cleanup=%d purged=%d monitors=%d stale=%d quota=%d deliver=%d backpressure=%d",
+		"null=%d mem=%d copy=%d(%dB) reqcreate=%d invoke=%d capop=%d revoked=%d cleanup=%d purged=%d monitors=%d stale=%d quota=%d deliver=%d backpressure=%d retx=%d rpcabort=%d dedup=%d sendfail=%d",
 		m.NullOps, m.MemOps, m.Copies, m.CopyBytes, m.ReqCreates, m.Invokes, m.CapOps,
 		m.Revocations, m.CleanupsSent, m.EntriesPurged, m.MonitorsFired,
-		m.StaleRejected, m.QuotaRejected, m.DeliveriesSent, m.Backpressured)
+		m.StaleRejected, m.QuotaRejected, m.DeliveriesSent, m.Backpressured,
+		m.Retransmits, m.RPCAborted, m.DedupHits, m.SendFailed)
 }

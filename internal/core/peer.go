@@ -9,7 +9,7 @@ import (
 // peerDeriveMem serves a remote memory_diminish at the owner.
 func (c *Controller) peerDeriveMem(from fabric.EndpointID, m *wire.CtrlDeriveMem) {
 	ref, size, rights, st := c.deriveMemLocal(m.From, m.Offset, m.Size, m.Drop)
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+	c.reply(from, m.Token, &wire.CtrlAck{
 		Token: m.Token, Status: st, Obj: ref.Obj, Epoch: ref.Epoch, Size: size, Rights: rights,
 	})
 }
@@ -17,7 +17,7 @@ func (c *Controller) peerDeriveMem(from fabric.EndpointID, m *wire.CtrlDeriveMem
 // peerDeriveReq serves a remote request_create derivation at the owner.
 func (c *Controller) peerDeriveReq(from fabric.EndpointID, m *wire.CtrlDeriveReq) {
 	ref, st := c.deriveReqLocal(m.From, m.Imms, xferToArgs(m.Caps))
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+	c.reply(from, m.Token, &wire.CtrlAck{
 		Token: m.Token, Status: st, Obj: ref.Obj, Epoch: ref.Epoch,
 	})
 }
@@ -26,15 +26,15 @@ func (c *Controller) peerDeriveReq(from fabric.EndpointID, m *wire.CtrlDeriveReq
 func (c *Controller) peerRevtree(from fabric.EndpointID, m *wire.CtrlRevtree) {
 	n, st := c.resolveOwned(m.From)
 	if st != wire.StatusOK {
-		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+		c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: st})
 		return
 	}
 	child := c.tree.Derive(n.ID, n.Payload)
 	if child == nil {
-		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusRevoked})
+		c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: wire.StatusRevoked})
 		return
 	}
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{
+	c.reply(from, m.Token, &wire.CtrlAck{
 		Token: m.Token, Status: wire.StatusOK, Obj: child.ID, Epoch: c.epoch,
 	})
 }
@@ -42,7 +42,7 @@ func (c *Controller) peerRevtree(from fabric.EndpointID, m *wire.CtrlRevtree) {
 // peerRevoke serves a remote cap_revoke at the owner.
 func (c *Controller) peerRevoke(from fabric.EndpointID, m *wire.CtrlRevoke) {
 	st := c.revokeLocal(m.From)
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+	c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: st})
 }
 
 // peerValidate answers an owner-side validation: is the object live,
@@ -52,19 +52,19 @@ func (c *Controller) peerRevoke(from fabric.EndpointID, m *wire.CtrlRevoke) {
 func (c *Controller) peerValidate(from fabric.EndpointID, m *wire.CtrlValidate) {
 	n, st := c.resolveOwned(m.Ref)
 	if st != wire.StatusOK {
-		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: st})
+		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: st})
 		return
 	}
 	mo, ok := n.Payload.(*memObject)
 	if !ok {
-		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusKind})
+		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusKind})
 		return
 	}
 	if !mo.rights.Has(m.Need) {
-		c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusPerm})
+		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusPerm})
 		return
 	}
-	c.net.Send(c.ep.ID, from, &wire.CtrlValInfo{
+	c.reply(from, m.Token, &wire.CtrlValInfo{
 		Token: m.Token, Status: wire.StatusOK,
 		Endpoint: uint32(mo.ep), Base: mo.base, Size: mo.size, Rights: mo.rights,
 	})
@@ -81,20 +81,20 @@ func (c *Controller) peerCleanup(from fabric.EndpointID, m *wire.CtrlCleanup) {
 	for _, ps := range c.procs {
 		c.metrics.EntriesPurged += int64(len(ps.space.PurgeRefs(func(r cap.Ref) bool { return dead[r] })))
 	}
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
+	c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
 }
 
 // peerWatch registers a remote monitor_receive watcher at the owner.
 func (c *Controller) peerWatch(from fabric.EndpointID, m *wire.CtrlWatch) {
 	n, st := c.resolveOwned(m.Ref)
 	if st != wire.StatusOK {
-		c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: st})
+		c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: st})
 		return
 	}
 	n.Watchers = append(n.Watchers, cap.Watcher{
 		Proc: m.WatcherProc, Ctrl: m.WatcherCtrl, Callback: m.Callback,
 	})
-	c.net.Send(c.ep.ID, from, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
+	c.reply(from, m.Token, &wire.CtrlAck{Token: m.Token, Status: wire.StatusOK})
 }
 
 // peerNotify forwards a monitor callback to a Process we manage.
@@ -103,12 +103,19 @@ func (c *Controller) peerNotify(m *wire.CtrlNotify) {
 	if !ok || ps.failed {
 		return
 	}
-	c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: m.Callback, Kind: m.Kind})
+	if !c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: m.Callback, Kind: m.Kind}) {
+		// Watcher's endpoint severed mid-failure: its own revocation
+		// cascade is already in flight, the callback is moot.
+		c.metrics.SendFailed++
+	}
 }
 
 // peerEpoch records a peer's new epoch. Entries minted under older
 // epochs of that Controller are implicitly revoked: purge them now and
 // reject them on use (§3.6's failure-to-revocation translation).
+// Outstanding calls to the peer abort, and the at-most-once cache for
+// its endpoint is dropped — replies minted for the previous
+// incarnation must never answer the next one.
 func (c *Controller) peerEpoch(m *wire.CtrlEpoch) {
 	if cur, ok := c.peerEpochs[m.Ctrl]; ok && m.Epoch <= cur {
 		return
@@ -120,6 +127,9 @@ func (c *Controller) peerEpoch(m *wire.CtrlEpoch) {
 		})
 	}
 	c.abortPendingTo(m.Ctrl)
+	if ep, ok := c.peers[m.Ctrl]; ok {
+		c.dropDedup(ep)
+	}
 }
 
 // revokeLocal invalidates an object owned here and its whole
@@ -209,11 +219,17 @@ func (c *Controller) notifyWatcher(w cap.Watcher, kind uint8) {
 	c.metrics.MonitorsFired++
 	if w.Ctrl == c.id {
 		if ps, ok := c.procs[w.Proc]; ok && !ps.failed {
-			c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: w.Callback, Kind: kind})
+			if !c.net.Send(c.ep.ID, ps.ep.ID, &wire.MonitorCB{Callback: w.Callback, Kind: kind}) {
+				c.metrics.SendFailed++
+			}
 		}
 		return
 	}
 	if ep, ok := c.peers[w.Ctrl]; ok {
-		c.net.Send(c.ep.ID, ep, &wire.CtrlNotify{Proc: w.Proc, Callback: w.Callback, Kind: kind})
+		if !c.net.Send(c.ep.ID, ep, &wire.CtrlNotify{Proc: w.Proc, Callback: w.Callback, Kind: kind}) {
+			// Peer crashed: its reboot announcement revokes the watched
+			// object's world anyway.
+			c.metrics.SendFailed++
+		}
 	}
 }

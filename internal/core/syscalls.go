@@ -397,5 +397,9 @@ func (c *Controller) sendDeliver(ps *procState, d *wire.Deliver) {
 	ps.window--
 	ps.outstanding[d.Seq] = struct{}{}
 	c.metrics.DeliveriesSent++
-	c.net.Send(c.ep.ID, ps.ep.ID, d)
+	if !c.net.Send(c.ep.ID, ps.ep.ID, d) {
+		// Endpoint severed between the failed check and the send: the
+		// Process-failure path revokes its window and queue wholesale.
+		c.metrics.SendFailed++
+	}
 }

@@ -230,6 +230,9 @@ type TraceEvent struct {
 	RDMA  bool
 	Bytes int
 	Class wire.Class
+	// Lost marks a frame the chaos layer consumed (probabilistic drop
+	// or a cut path): it occupied the wire but was never delivered.
+	Lost bool
 }
 
 // link models a transmission resource with bandwidth: transmissions
@@ -271,6 +274,10 @@ type Net struct {
 	stats Stats
 	trace func(TraceEvent)
 	links []nodeLinks // indexed by node number
+	// faults is the chaos layer (faults.go); nil when disabled, which
+	// keeps the fault-free send path branch-cheap and byte-identical
+	// to a build without the layer.
+	faults *faultState
 }
 
 // New creates a fabric over the given kernel with profile p.
@@ -401,6 +408,12 @@ func (n *Net) transferTime(now sim.Time, src, dst Location, nBytes int) sim.Time
 // into dst's inbox. It does not block the caller (DMA semantics). It
 // reports false if either endpoint is unknown or disconnected (the
 // message is dropped, as on a severed channel).
+//
+// With the chaos layer installed (faults.go) a cross-node frame may
+// additionally be lost, duplicated, or delayed — and Send still
+// returns true in every one of those cases: in-flight loss is not
+// observable at the sender, which is precisely what forces the
+// retransmission protocols above the fabric.
 func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 	src := n.lookup(from)
 	dst := n.lookup(to)
@@ -417,28 +430,73 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 	frame := w.Bytes()
 	nBytes := len(frame)
 	decoded, derr := wire.Unmarshal(frame)
+	cross := src.Loc.Node != dst.Loc.Node
+
+	// Chaos pipeline (cross-node frames only; see faults.go for the
+	// fault model and determinism rules).
+	var lost bool
+	var dup2 wire.Message
+	var extra sim.Time
+	if fs := n.faults; fs != nil && cross {
+		if fs.cut(src.Loc.Node, dst.Loc.Node) {
+			lost = true
+			fs.stats.Cut++
+		} else {
+			if fs.drop > 0 && fs.rng.Float64() < fs.drop {
+				lost = true
+				fs.stats.Dropped++
+			}
+			if fs.dup > 0 && fs.rng.Float64() < fs.dup && !lost && derr == nil {
+				// The duplicate is decoded independently so the two
+				// deliveries never share mutable payloads.
+				dup2, _ = wire.Unmarshal(frame)
+			}
+			if fs.jitter > 0 {
+				extra = sim.Time(fs.rng.Int63n(int64(fs.jitter)))
+				if extra > 0 {
+					fs.stats.Delayed++
+				}
+			}
+		}
+	}
 	w.Release()
 	now := n.k.Now()
 	done := n.transferTime(now, src.Loc, dst.Loc, nBytes)
-	cross := src.Loc.Node != dst.Loc.Node
 	n.account(m.Class(), nBytes, cross, false)
 	if n.trace != nil {
-		n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: nBytes, Class: m.Class()})
+		n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: nBytes, Class: m.Class(), Lost: lost})
 	}
-	if derr != nil {
-		// An undecodable frame is treated like line corruption: the
-		// fabric accounts the bytes on the wire but drops the frame
-		// instead of tearing down the simulation. Upper layers already
-		// tolerate loss — pending calls unwind through the peer-failure
-		// path (failure as revocation).
+	if derr != nil || lost {
+		// An undecodable frame is treated like line corruption, a lost
+		// one like switch loss: the fabric accounts the bytes on the
+		// wire but drops the frame instead of tearing down the
+		// simulation. Upper layers already tolerate loss — pending
+		// calls unwind through retransmission or the peer-failure path
+		// (failure as revocation).
 		return true
 	}
-	n.k.After(done-now, func() {
+	n.k.After(done+extra-now, func() {
 		if dst.disconnected {
 			return
 		}
 		dst.Inbox.TrySend(Delivery{From: from, Msg: decoded, Bytes: nBytes})
 	})
+	if dup2 != nil {
+		// The duplicate pays for the wire a second time and lands
+		// strictly after the original (uplink serialization).
+		n.faults.stats.Duplicated++
+		done2 := n.transferTime(now, src.Loc, dst.Loc, nBytes)
+		n.account(m.Class(), nBytes, cross, false)
+		if n.trace != nil {
+			n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: nBytes, Class: m.Class()})
+		}
+		n.k.After(done2+extra-now, func() {
+			if dst.disconnected {
+				return
+			}
+			dst.Inbox.TrySend(Delivery{From: from, Msg: dup2, Bytes: nBytes})
+		})
+	}
 	return true
 }
 
@@ -457,6 +515,17 @@ func (n *Net) rdmaLatency(initiator, passive Location) sim.Time {
 func (n *Net) rdmaTransfer(initiator, srcEp, dstEp *Endpoint, srcOff, dstOff, nBytes int, extraRTT bool) (sim.Time, error) {
 	if srcEp.disconnected || dstEp.disconnected || initiator.disconnected {
 		return 0, fmt.Errorf("fabric: endpoint disconnected")
+	}
+	// RDMA rides a reliable transport (hardware retransmit absorbs
+	// probabilistic loss) but cannot cross a cut path: a down link or
+	// partition between any involved pair fails the op outright, which
+	// the copy engine maps to StatusAborted.
+	if fs := n.faults; fs != nil {
+		if fs.cut2(initiator.Loc.Node, srcEp.Loc.Node) ||
+			fs.cut2(initiator.Loc.Node, dstEp.Loc.Node) ||
+			fs.cut2(srcEp.Loc.Node, dstEp.Loc.Node) {
+			return 0, fmt.Errorf("fabric: path cut between nodes")
+		}
 	}
 	if srcOff < 0 || srcOff+nBytes > srcEp.arenaSize {
 		return 0, fmt.Errorf("fabric: source range [%d,%d) outside arena of %s", srcOff, srcOff+nBytes, srcEp.Name)

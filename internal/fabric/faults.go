@@ -1,0 +1,253 @@
+// Fault injection: a deterministic chaos layer under the message
+// fabric.
+//
+// The FractOS correctness story (§3.6, failure as revocation) is only
+// as strong as the conditions it has been exercised under. The rest of
+// the repo injects *binary* failures — severed endpoints, crashed
+// Controllers — over an otherwise perfect network. Real RoCE fabrics
+// lose, delay, and occasionally duplicate frames, and switches
+// partition. Faults models exactly that, below Send, so every layer
+// above (controller RPC, deliveries, heartbeats) sees the same
+// degraded network a production deployment would.
+//
+// Determinism contract: every fault decision is drawn from a private
+// rand.Rand seeded from Faults.Seed — never from the kernel's RNG —
+// so (a) two runs with the same Spec produce byte-identical fault
+// schedules and fabric traces, and (b) a zero-value Faults consumes
+// no randomness and leaves the fabric's behavior bit-for-bit
+// identical to a fabric without the layer. Scheduled Plan actions
+// execute at exact virtual times through kernel timers.
+//
+// Scope: faults apply only to cross-node message frames (traffic that
+// traverses the switch). Same-node loopback models shared-memory
+// queues and stays reliable. RDMA transfers model a reliable
+// transport (hardware retransmission) and are not subject to
+// probabilistic loss, but a cut path (link down or partition) fails
+// them with an error, which the copy engine surfaces as
+// StatusAborted.
+package fabric
+
+import (
+	"math/rand"
+
+	"fractos/internal/sim"
+)
+
+// Faults configures the chaos layer. The zero value disables it
+// entirely (and is guaranteed not to perturb the fabric).
+type Faults struct {
+	// Drop is the per-frame probability that a cross-node message is
+	// lost in transit. The sender still pays for the wire time; Send
+	// still returns true — loss is not locally observable, exactly the
+	// property that forces retransmission protocols above.
+	Drop float64
+	// Dup is the per-frame probability that a cross-node message is
+	// delivered twice (lower-layer retransmit after a lost ack). The
+	// duplicate is independently decoded and pays for the wire again.
+	Dup float64
+	// Jitter adds a uniform [0, Jitter) extra delivery delay to every
+	// cross-node frame (switch queueing), reordering traffic between
+	// distinct node pairs.
+	Jitter sim.Time
+	// Seed seeds the private fault RNG. Runs with equal Seed (and
+	// equal workload) make identical fault decisions.
+	Seed int64
+	// Plan schedules deterministic link and partition events.
+	Plan Plan
+}
+
+// Enabled reports whether the configuration injects any faults.
+func (f Faults) Enabled() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || len(f.Plan) > 0
+}
+
+// ActionKind enumerates scheduled fault actions.
+type ActionKind uint8
+
+const (
+	// LinkDown severs a node's switch connection: all cross-node
+	// traffic to and from Node is silently lost until LinkUp.
+	LinkDown ActionKind = iota
+	// LinkUp restores a node's switch connection.
+	LinkUp
+	// Partition splits the cluster: the nodes in Group lose
+	// connectivity with every node outside Group (traffic within the
+	// group, and among the remainder, still flows).
+	Partition
+	// Heal removes all partitions (but not LinkDown states).
+	Heal
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	}
+	return "unknown"
+}
+
+// Action is one scheduled fault event at virtual time At.
+type Action struct {
+	At   sim.Time
+	Kind ActionKind
+	// Node is the target of LinkDown/LinkUp.
+	Node int
+	// Group is the minority side of a Partition.
+	Group []int
+}
+
+// Plan is a schedule of fault actions. Order does not matter;
+// InstallFaults schedules each at its own virtual time.
+type Plan []Action
+
+// FaultStats counts injected faults, for experiments and tests.
+type FaultStats struct {
+	Dropped    int64 // frames lost to probabilistic drop
+	Duplicated int64 // frames delivered twice
+	Cut        int64 // frames lost to a down link or partition
+	Delayed    int64 // frames that drew nonzero jitter
+}
+
+// faultState is the live chaos state hanging off a Net.
+type faultState struct {
+	rng    *rand.Rand
+	drop   float64
+	dup    float64
+	jitter sim.Time
+
+	linkDown []bool // by node: switch port administratively dead
+	group    []int  // by node: partition group id (0 = main)
+	nextGrp  int    // next partition id to hand out
+
+	stats FaultStats
+}
+
+// InstallFaults activates the chaos layer on the fabric and schedules
+// the plan's actions. Call once, before the simulation runs. A
+// disabled (zero-value) Faults is a no-op.
+func (n *Net) InstallFaults(f Faults) {
+	if !f.Enabled() {
+		return
+	}
+	n.faults = &faultState{
+		rng:    rand.New(rand.NewSource(f.Seed + 1)), // +1: seed 0 is a valid, distinct stream
+		drop:   f.Drop,
+		dup:    f.Dup,
+		jitter: f.Jitter,
+	}
+	for _, a := range f.Plan {
+		a := a
+		delay := a.At - n.k.Now()
+		if delay < 0 {
+			delay = 0
+		}
+		n.k.After(delay, func() { n.apply(a) })
+	}
+}
+
+// FaultStats returns the cumulative injected-fault counters (zero if
+// the chaos layer is not installed).
+func (n *Net) FaultStats() FaultStats {
+	if n.faults == nil {
+		return FaultStats{}
+	}
+	return n.faults.stats
+}
+
+// apply executes one plan action now.
+func (n *Net) apply(a Action) {
+	switch a.Kind {
+	case LinkDown:
+		n.SetLink(a.Node, false)
+	case LinkUp:
+		n.SetLink(a.Node, true)
+	case Partition:
+		n.PartitionNodes(a.Group)
+	case Heal:
+		n.HealPartitions()
+	}
+}
+
+// ensureFaults materializes the fault state for imperative callers
+// (tests, examples) that script topology changes without a Plan.
+func (n *Net) ensureFaults() *faultState {
+	if n.faults == nil {
+		n.faults = &faultState{rng: rand.New(rand.NewSource(1))}
+	}
+	return n.faults
+}
+
+// SetLink administratively raises (up=true) or severs a node's switch
+// port. While down, all cross-node frames to or from the node are
+// silently lost and cross-node RDMA fails.
+func (n *Net) SetLink(node int, up bool) {
+	fs := n.ensureFaults()
+	for len(fs.linkDown) <= node {
+		fs.linkDown = append(fs.linkDown, false)
+	}
+	fs.linkDown[node] = !up
+}
+
+// PartitionNodes cuts the given nodes off from the rest of the
+// cluster (they keep connectivity among themselves). Successive calls
+// create independent partitions.
+func (n *Net) PartitionNodes(group []int) {
+	fs := n.ensureFaults()
+	fs.nextGrp++
+	id := fs.nextGrp
+	for _, node := range group {
+		for len(fs.group) <= node {
+			fs.group = append(fs.group, 0)
+		}
+		fs.group[node] = id
+	}
+}
+
+// HealPartitions restores full connectivity between partition groups
+// (administratively downed links stay down).
+func (n *Net) HealPartitions() {
+	fs := n.ensureFaults()
+	for i := range fs.group {
+		fs.group[i] = 0
+	}
+}
+
+// Partitioned reports whether cross-node traffic between a and b is
+// currently cut by a partition or a downed link.
+func (n *Net) Partitioned(a, b int) bool {
+	if n.faults == nil {
+		return false
+	}
+	return n.faults.cut(a, b)
+}
+
+// cut2 is cut for possibly-equal nodes: a node always reaches itself.
+func (fs *faultState) cut2(a, b int) bool {
+	return a != b && fs.cut(a, b)
+}
+
+// cut reports whether the switch path between two distinct nodes is
+// severed right now.
+func (fs *faultState) cut(a, b int) bool {
+	if fs.down(a) || fs.down(b) {
+		return true
+	}
+	return fs.grp(a) != fs.grp(b)
+}
+
+func (fs *faultState) down(node int) bool {
+	return node < len(fs.linkDown) && fs.linkDown[node]
+}
+
+func (fs *faultState) grp(node int) int {
+	if node < len(fs.group) {
+		return fs.group[node]
+	}
+	return 0
+}

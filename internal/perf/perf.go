@@ -46,6 +46,12 @@ type Report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	Results   []Result `json:"results"`
+	// Experiments carries headline metrics from deterministic
+	// virtual-time experiments tracked across PRs (e.g. the chaos-fv
+	// availability numbers), keyed "<experiment>.<metric>". Unlike
+	// Results these are exactly reproducible, so any drift is a real
+	// behavior change.
+	Experiments map[string]float64 `json:"experiments,omitempty"`
 }
 
 // Case is a runnable benchmark: Fn must loop b.N times.
@@ -130,14 +136,17 @@ func RunAll(only ...string) ([]Result, error) {
 	return results, nil
 }
 
-// WriteJSON renders a Report around the results.
-func WriteJSON(w io.Writer, results []Result) error {
+// WriteJSON renders a Report around the results. experiments may be
+// nil; see Report.Experiments.
+func WriteJSON(w io.Writer, results []Result, experiments map[string]float64) error {
 	rep := Report{
 		Schema:    "fractos-bench/1",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Results:   results,
+
+		Experiments: experiments,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -297,7 +306,9 @@ func benchFabricInvoke(b *testing.B) {
 			m := invokeMsg()
 			for j := 0; j < msgs; j++ {
 				m.Token = uint64(j)
-				net.Send(src.ID, dst.ID, m)
+				if !net.Send(src.ID, dst.ID, m) {
+					return
+				}
 				t.Sleep(1000)
 			}
 		})
@@ -326,7 +337,9 @@ func benchFabricMemCopy(b *testing.B) {
 			m := &wire.MemCopy{Token: 1, SrcCid: 2, DstCid: 3}
 			for j := 0; j < copies; j++ {
 				m.Token = uint64(j)
-				net.Send(src.ID, dst.ID, m)
+				if !net.Send(src.ID, dst.ID, m) {
+					return
+				}
 				f := net.RDMARead(src.ID, 0, dst.ID, 0, 4096)
 				if _, err := f.Wait(t); err != nil {
 					return

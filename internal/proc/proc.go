@@ -406,9 +406,11 @@ func (p *Process) MonitorReceive(t *sim.Task, c Cap, fn func()) error {
 }
 
 // Bye announces a graceful exit; the Controller revokes everything the
-// Process provided.
+// Process provided. A send failure means the Controller already tore
+// the Process down — the revocations Bye asks for have happened.
 func (p *Process) Bye() {
 	p.dead = true
+	//fractos:send-ok already-disconnected means the Controller cleaned up first
 	p.net.Send(p.ep.ID, p.ctrlEP, &wire.ProcBye{})
 }
 

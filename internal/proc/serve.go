@@ -41,13 +41,18 @@ func (d *Delivery) U64(off int) uint64 {
 }
 
 // Done acknowledges the delivery, releasing one congestion-window
-// credit at the Controller (§4). Safe to call more than once.
+// credit at the Controller (§4). Safe to call more than once. A send
+// failure means the Controller tore this Process down (crash or
+// FailProcess); the credit died with the window, so mark the Process
+// dead rather than pretend the ack was delivered.
 func (d *Delivery) Done() {
 	if d.acked {
 		return
 	}
 	d.acked = true
-	d.p.net.Send(d.p.ep.ID, d.p.ctrlEP, &wire.DeliverDone{Seq: d.Seq})
+	if !d.p.net.Send(d.p.ep.ID, d.p.ctrlEP, &wire.DeliverDone{Seq: d.Seq}) {
+		d.p.dead = true
+	}
 }
 
 // Receive blocks until the next unmatched invocation arrives

@@ -60,6 +60,16 @@ type Spec struct {
 	// Watch adds a failure-injection NodeWatch to the deployment
 	// (examples/failover, recovery tests).
 	Watch bool
+	// Chaos, when Enabled, installs the fault-injection layer on the
+	// fabric and arms the Controllers' retransmission protocol
+	// (docs/FAULTS.md). The zero value changes nothing: traces stay
+	// byte-identical to a fault-free deployment.
+	Chaos fabric.Faults
+	// Heartbeat, when non-nil, starts Watch's heartbeat failure
+	// detector before the services deploy and stops it after the
+	// workload returns (so the kernel's event loop drains). Implies
+	// Watch.
+	Heartbeat *services.WatchConfig
 	// Services are deployed in order inside the main task before the
 	// workload runs.
 	Services []Service
@@ -73,6 +83,7 @@ func (s Spec) ClusterConfig() core.ClusterConfig {
 		Ctrl:      s.Ctrl,
 		Profile:   s.Profile,
 		Seed:      s.Seed,
+		Faults:    s.Chaos,
 	}
 }
 
@@ -86,6 +97,7 @@ func SpecOf(cfg core.ClusterConfig, svcs ...Service) Spec {
 		Ctrl:      cfg.Ctrl,
 		Profile:   cfg.Profile,
 		Seed:      cfg.Seed,
+		Chaos:     cfg.Faults,
 		Services:  svcs,
 	}
 }
@@ -137,8 +149,11 @@ func RunT(tb TB, s Spec, fn func(tk *sim.Task, d *Deployment)) {
 func run(s Spec, fn func(tk *sim.Task, d *Deployment)) bool {
 	cl := core.NewCluster(s.ClusterConfig())
 	d := &Deployment{Cl: cl}
-	if s.Watch {
+	if s.Watch || s.Heartbeat != nil {
 		d.Watch = services.NewNodeWatch(cl)
+	}
+	if s.Heartbeat != nil {
+		d.Watch.StartHeartbeat(*s.Heartbeat)
 	}
 	done := false
 	cl.K.Spawn("tb-main", func(tk *sim.Task) {
@@ -147,6 +162,9 @@ func run(s Spec, fn func(tk *sim.Task, d *Deployment)) bool {
 		}
 		fn(tk, d)
 		done = true
+		if s.Heartbeat != nil {
+			d.Watch.Stop()
+		}
 	})
 	cl.K.Run()
 	cl.K.Shutdown()

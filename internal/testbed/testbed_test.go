@@ -1,6 +1,7 @@
 package testbed_test
 
 import (
+	"reflect"
 	"testing"
 
 	"fractos/internal/core"
@@ -72,7 +73,9 @@ func TestSpecOfRoundTrip(t *testing.T) {
 	cfg := core.ClusterConfig{Nodes: 5, Placement: core.CtrlShared, Seed: 9}
 	cfg.Ctrl.CapQuota = 7
 	s := testbed.SpecOf(cfg)
-	if got := s.ClusterConfig(); got != cfg {
+	// ClusterConfig is no longer ==-comparable (Faults holds a Plan
+	// slice), so compare structurally.
+	if got := s.ClusterConfig(); !reflect.DeepEqual(got, cfg) {
 		t.Errorf("round trip changed the config: %+v vs %+v", got, cfg)
 	}
 }

@@ -44,6 +44,14 @@ const (
 	TCtrlEpoch
 )
 
+// 4xx: the node-monitoring service's heartbeat protocol (§3.6's
+// external monitor, upgraded from an explicitly driven stub to a
+// probe-based failure detector in docs/FAULTS.md).
+const (
+	TWatchPing Type = 400 + iota
+	TWatchPong
+)
+
 // TRaw is a free-form message used by the baseline systems (rCUDA,
 // NFS, NVMe-oF models) that share the fabric but not the FractOS
 // protocol.
@@ -80,6 +88,8 @@ func init() {
 	Register(TCtrlWatch, func() Message { return new(CtrlWatch) })
 	Register(TCtrlNotify, func() Message { return new(CtrlNotify) })
 	Register(TCtrlEpoch, func() Message { return new(CtrlEpoch) })
+	Register(TWatchPing, func() Message { return new(WatchPing) })
+	Register(TWatchPong, func() Message { return new(WatchPong) })
 	Register(TRaw, func() Message { return new(Raw) })
 }
 
@@ -960,6 +970,47 @@ func (m *CtrlEpoch) Decode(r *Reader) error {
 	return r.Err()
 }
 
+// ---- node monitoring (4xx) ----
+
+// WatchPing is a heartbeat probe from the node-monitoring service to a
+// Controller. Seq identifies the probe round so late pongs are not
+// mistaken for current ones.
+type WatchPing struct {
+	Seq uint64
+}
+
+func (*WatchPing) WireType() Type { return TWatchPing }
+func (*WatchPing) Class() Class   { return Control }
+func (m *WatchPing) Encode(w *Writer) {
+	w.U64(m.Seq)
+}
+func (m *WatchPing) Decode(r *Reader) error {
+	m.Seq = r.U64()
+	return r.Err()
+}
+
+// WatchPong answers a WatchPing with the Controller's identity and
+// current epoch, so the monitor can piggyback epoch discovery on
+// liveness probing.
+type WatchPong struct {
+	Seq   uint64
+	Ctrl  cap.ControllerID
+	Epoch cap.Epoch
+}
+
+func (*WatchPong) WireType() Type { return TWatchPong }
+func (*WatchPong) Class() Class   { return Control }
+func (m *WatchPong) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.U32(uint32(m.Ctrl))
+	w.U32(uint32(m.Epoch))
+}
+func (m *WatchPong) Decode(r *Reader) error {
+	m.Seq = r.U64()
+	m.Ctrl, m.Epoch = cap.ControllerID(r.U32()), cap.Epoch(r.U32())
+	return r.Err()
+}
+
 // ---- generic ----
 
 // Raw is a free-form message for non-FractOS protocols sharing the
@@ -1049,4 +1100,6 @@ func (m *CtrlDelegNoteAck) EncodedSize() int { return 8 + 1 + refSize }
 func (m *CtrlWatch) EncodedSize() int        { return 8 + 4 + refSize + 8 + 4 + 8 }
 func (m *CtrlNotify) EncodedSize() int       { return 8 + 8 + 1 }
 func (m *CtrlEpoch) EncodedSize() int        { return 4 + 4 }
+func (m *WatchPing) EncodedSize() int        { return 8 }
+func (m *WatchPong) EncodedSize() int        { return 8 + 4 + 4 }
 func (m *Raw) EncodedSize() int              { return 4 + 8 + 1 + 4 + len(m.Data) }

@@ -112,6 +112,8 @@ func sampleMessages() []Message {
 		&CtrlWatch{Token: 23, Src: 7, Ref: ref, WatcherProc: 66, WatcherCtrl: 8, Callback: 0xf00d},
 		&CtrlNotify{Proc: 67, Callback: 0xfeed, Kind: MonitorCBDelegate},
 		&CtrlEpoch{Ctrl: 9, Epoch: 4},
+		&WatchPing{Seq: 71},
+		&WatchPong{Seq: 71, Ctrl: 2, Epoch: 5},
 		&Raw{Kind: 3, Token: 24, IsData: true, Data: []byte("baseline payload")},
 	}
 }

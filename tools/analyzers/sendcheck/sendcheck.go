@@ -1,0 +1,107 @@
+// Package sendcheck is an errcheck for fabric.Net.Send.
+//
+// Send returns false when the destination endpoint is unknown or torn
+// down — the one delivery failure that *is* locally observable (frames
+// lost to the chaos layer's drops or partitions still return true;
+// docs/FAULTS.md). Discarding the boolean silently swallows the only
+// synchronous signal that a peer Controller or Process is gone, which
+// is exactly how unaccounted message loss slipped into the Controller
+// before PR 4: counters drifted and "sent" completions were never
+// delivered. Callers must either branch on the result or count the
+// failure (metrics.SendFailed).
+//
+// A deliberate fire-and-forget needs a `fractos:send-ok <reason>`
+// comment on the call's line (e.g. the heartbeat prober, for which a
+// torn-down destination is indistinguishable from silence by design).
+package sendcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fractos/tools/analyzers/analysis"
+)
+
+// Analyzer is the sendcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "sendcheck",
+	Doc:  "fabric.Net.Send results must be checked; false is the only observable delivery failure",
+	Run:  run,
+}
+
+const suppression = "fractos:send-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call)
+				}
+			case *ast.GoStmt:
+				report(pass, n.Call)
+			case *ast.DeferStmt:
+				report(pass, n.Call)
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+					return true
+				}
+				id, ok := n.Lhs[0].(*ast.Ident)
+				if !ok || id.Name != "_" {
+					return true
+				}
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					report(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// report flags call if it is fabric.Net.Send (by method set, not
+// syntax, so wrappers and embedded fields are covered too).
+func report(pass *analysis.Pass, call *ast.CallExpr) {
+	if !isNetSend(pass.TypesInfo, call) || pass.Suppressed(call.Pos(), suppression) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result of Net.Send is dropped; false means the destination endpoint is gone and is the only observable delivery failure")
+}
+
+// isNetSend reports whether the call's callee is the Send method of
+// fabric.Net (package path ending in "fabric", receiver *Net or Net,
+// returning a single bool).
+func isNetSend(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Send" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Net" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "fabric" || strings.HasSuffix(pkg.Path(), "/fabric"))
+}

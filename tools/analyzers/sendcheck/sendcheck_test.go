@@ -1,0 +1,12 @@
+package sendcheck_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/sendcheck"
+)
+
+func TestSendcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", sendcheck.Analyzer, "sc/sendcheck")
+}

@@ -1,0 +1,25 @@
+// Package user exercises the sendcheck analyzer.
+package user
+
+import "fabric"
+
+// Net embeds fabric.Net so method-set resolution (not syntax) is
+// exercised.
+type wrapped struct{ *fabric.Net }
+
+func drops(n *fabric.Net, w wrapped, a, b fabric.EndpointID) {
+	n.Send(a, b, nil)     // want `result of Net.Send is dropped`
+	_ = n.Send(a, b, nil) // want `result of Net.Send is dropped`
+	go n.Send(a, b, nil)  // want `result of Net.Send is dropped`
+	w.Send(a, b, nil)     // want `result of Net.Send is dropped`
+
+	//fractos:send-ok heartbeat probe: a torn-down destination is silence by design
+	n.Send(a, b, nil)
+
+	if !n.Send(a, b, nil) {
+		return
+	}
+	ok := n.Send(a, b, nil)
+	_ = ok
+	n.Broadcast(a, nil) // different method: not flagged
+}
