@@ -16,7 +16,71 @@ import (
 
 	"fractos/internal/exp"
 	"fractos/internal/sim"
+	"fractos/internal/wire"
 )
+
+// marshalSink keeps the allocation-gate encode results live so the
+// compiler cannot elide the calls under test.
+var marshalSink []byte
+
+// TestAllocGateKernelDispatch pins the zero-alloc property the
+// allocfree analyzer enforces statically on the //fractos:hotpath
+// kernel functions: steady-state event dispatch — After(0) chains over
+// a warmed event pool and run-queue ring — must not allocate per
+// event. The only tolerated allocations are the one deferred
+// flush closure each Run call makes (amortized over every event of
+// the run) plus measurement noise.
+func TestAllocGateKernelDispatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const eventsPerRun = 1000
+	k := sim.New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n%eventsPerRun != 0 {
+			k.After(0, step)
+		}
+	}
+	// Warm-up run: primes the event pool and grows the ring once.
+	k.After(0, step)
+	k.Run()
+	perRun := testing.AllocsPerRun(20, func() {
+		k.After(0, step)
+		k.Run()
+	})
+	if perEvent := perRun / eventsPerRun; perEvent > 0.01 {
+		t.Errorf("kernel dispatch allocates %.4f objects/event (%.1f per %d-event run); hot path must be allocation-free",
+			perEvent, perRun, eventsPerRun)
+	}
+}
+
+// TestAllocGateWireMarshal pins the wire codec's allocation contract:
+// Marshal performs exactly one allocation (the exact-size buffer), and
+// the pooled GetWriter/MarshalTo/Release path performs none at steady
+// state.
+func TestAllocGateWireMarshal(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := &wire.Completion{Token: 7, Status: wire.StatusOK, Aux: 42}
+	if per := testing.AllocsPerRun(100, func() {
+		marshalSink = wire.Marshal(m)
+	}); per > 1 {
+		t.Errorf("wire.Marshal allocates %.1f objects/op, want <= 1 (the exact-size buffer)", per)
+	}
+	// Warm the writer pool once so the gate measures steady state.
+	wire.GetWriter(wire.SizeOf(m)).Release()
+	if per := testing.AllocsPerRun(100, func() {
+		w := wire.GetWriter(wire.SizeOf(m))
+		wire.MarshalTo(w, m)
+		w.Release()
+	}); per > 0 {
+		t.Errorf("pooled MarshalTo path allocates %.1f objects/op, want 0", per)
+	}
+}
 
 // runExp drives one experiment through the benchmark loop, reporting
 // allocations and the wall-clock event throughput (kernel events

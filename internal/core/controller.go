@@ -350,6 +350,8 @@ func (c *Controller) dispatchSyscall(t *sim.Task, ps *procState, m wire.Message)
 // request (the messages answered through reply and thus subject to
 // at-most-once dedup). ok is false for fire-and-forget peer traffic
 // (CtrlNotify, CtrlEpoch), which is idempotent by construction.
+//
+//fractos:hotpath
 func peerToken(m wire.Message) (uint64, bool) {
 	switch m := m.(type) {
 	case *wire.CtrlDeriveMem:
@@ -418,11 +420,13 @@ func (c *Controller) dispatchPeer(t *sim.Task, from fabric.EndpointID, m wire.Me
 // Send means the Process's endpoint was severed after the failed
 // check — the failure path will revoke its state, so the lost
 // completion is correct behavior, not silent loss.
+//
+//fractos:hotpath
 func (c *Controller) complete(ps *procState, token uint64, st wire.Status, cid cap.CapID, aux uint64) {
 	if ps.failed {
 		return
 	}
-	if !c.net.Send(c.ep.ID, ps.ep.ID, &wire.Completion{Token: token, Status: st, Cid: cid, Aux: aux}) {
+	if !c.net.Send(c.ep.ID, ps.ep.ID, &wire.Completion{Token: token, Status: st, Cid: cid, Aux: aux}) { // fractos:alloc-ok the completion message is the reply itself, one per syscall by design
 		c.metrics.SendFailed++
 	}
 }
@@ -431,18 +435,26 @@ func (c *Controller) complete(ps *procState, token uint64, st wire.Status, cid c
 // the at-most-once cache so a retransmission of the same request is
 // answered identically without re-execution. All peer handlers must
 // send their responses through here.
+//
+// The cache is only maintained while dedupArmed: on a reliable fabric
+// with retransmission disarmed no token can ever repeat, so the
+// fault-free hot path skips the per-reply map/slice work entirely.
+//
+//fractos:hotpath
 func (c *Controller) reply(from fabric.EndpointID, token uint64, m wire.Message) {
-	ds := c.dedup[from]
-	if ds == nil {
-		ds = &dedupState{replies: make(map[uint64]wire.Message)}
-		c.dedup[from] = ds
-	}
-	if _, exists := ds.replies[token]; !exists {
-		ds.replies[token] = m
-		ds.order = append(ds.order, token)
-		if len(ds.order) > dedupCap {
-			delete(ds.replies, ds.order[0])
-			ds.order = ds.order[1:]
+	if c.dedupArmed() {
+		ds := c.dedup[from]
+		if ds == nil {
+			ds = &dedupState{replies: make(map[uint64]wire.Message)} // fractos:alloc-ok armed only under loss or retransmission
+			c.dedup[from] = ds
+		}
+		if _, exists := ds.replies[token]; !exists {
+			ds.replies[token] = m              // fractos:alloc-ok armed only: map growth bounded by dedupCap
+			ds.order = append(ds.order, token) // fractos:alloc-ok armed only: ring bounded by dedupCap
+			if len(ds.order) > dedupCap {
+				delete(ds.replies, ds.order[0])
+				ds.order = ds.order[1:]
+			}
 		}
 	}
 	if !c.net.Send(c.ep.ID, from, m) {
@@ -450,6 +462,20 @@ func (c *Controller) reply(from fabric.EndpointID, token uint64, m wire.Message)
 		// epoch announcement will abort the caller's pending call.
 		c.metrics.SendFailed++
 	}
+}
+
+// dedupArmed reports whether the at-most-once reply cache must be
+// maintained. Repeated tokens have exactly two sources — sender
+// retransmission (cfg.RPCTimeout armed) and fabric duplication (chaos
+// layer installed) — so when neither is possible the cache would only
+// accumulate dead weight. core.NewCluster arms RPCTimeout whenever it
+// installs faults, which keeps this check a pure receiver-side
+// optimization there; direct InstallFaults users are covered by the
+// Lossy probe.
+//
+//fractos:hotpath
+func (c *Controller) dedupArmed() bool {
+	return c.cfg.RPCTimeout > 0 || c.net.Lossy()
 }
 
 // dropDedup forgets the at-most-once cache for a peer endpoint. Called

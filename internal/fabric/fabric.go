@@ -91,6 +91,8 @@ func DefaultProfile() Profile {
 const nanosecond = sim.Time(1)
 
 // exit returns the sender-side latency for a domain.
+//
+//fractos:hotpath
 func (p *Profile) exit(d Domain) sim.Time {
 	if d == SNIC {
 		return p.SNICExit
@@ -99,6 +101,8 @@ func (p *Profile) exit(d Domain) sim.Time {
 }
 
 // entry returns the receiver-side latency for a domain.
+//
+//fractos:hotpath
 func (p *Profile) entry(d Domain) sim.Time {
 	if d == SNIC {
 		return p.SNICEntry
@@ -244,6 +248,8 @@ type link struct {
 
 // reserve books n bytes starting at now, returning when the
 // transmission completes on this link.
+//
+//fractos:hotpath
 func (l *link) reserve(now sim.Time, n int) sim.Time {
 	start := now
 	if l.busyUntil > start {
@@ -292,6 +298,14 @@ func New(k *sim.Kernel, p Profile) *Net {
 // Kernel returns the simulation kernel the fabric runs on.
 func (n *Net) Kernel() *sim.Kernel { return n.k }
 
+// Lossy reports whether the chaos layer is installed: frames may be
+// dropped, duplicated, delayed, or cut. Receivers use it (together
+// with an armed RPCTimeout) to decide whether at-most-once machinery
+// needs to run at all.
+//
+//fractos:hotpath
+func (n *Net) Lossy() bool { return n.faults != nil }
+
 // Profile returns the fabric's calibration.
 func (n *Net) Profile() Profile { return n.prof }
 
@@ -333,6 +347,8 @@ func (n *Net) ensureLinks(node int) {
 }
 
 // lookup resolves an id to its endpoint, or nil if unknown.
+//
+//fractos:hotpath
 func (n *Net) lookup(id EndpointID) *Endpoint {
 	if int(id) < len(n.eps) {
 		return n.eps[id] // index 0 is nil, so id 0 resolves to unknown
@@ -363,6 +379,8 @@ func (n *Net) Reconnect(id EndpointID) {
 }
 
 // account records a transfer in the counters.
+//
+//fractos:hotpath
 func (n *Net) account(class wire.Class, bytes int, cross bool, rdma bool) {
 	switch class {
 	case wire.Data:
@@ -390,6 +408,8 @@ func (n *Net) account(class wire.Class, bytes int, cross bool, rdma bool) {
 
 // transferTime computes when a payload of nBytes sent now from src to
 // dst finishes arriving, accounting for link serialization.
+//
+//fractos:hotpath
 func (n *Net) transferTime(now sim.Time, src, dst Location, nBytes int) sim.Time {
 	lat := n.prof.exit(src.Domain) + n.prof.entry(dst.Domain)
 	if src.Node == dst.Node {
@@ -414,6 +434,8 @@ func (n *Net) transferTime(now sim.Time, src, dst Location, nBytes int) sim.Time
 // returns true in every one of those cases: in-flight loss is not
 // observable at the sender, which is precisely what forces the
 // retransmission protocols above the fabric.
+//
+//fractos:hotpath
 func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 	src := n.lookup(from)
 	dst := n.lookup(to)
@@ -429,7 +451,7 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 	wire.MarshalTo(w, m)
 	frame := w.Bytes()
 	nBytes := len(frame)
-	decoded, derr := wire.Unmarshal(frame)
+	decoded, derr := wire.Unmarshal(frame) // fractos:alloc-ok eager decode allocates the delivered message once per send by design
 	cross := src.Loc.Node != dst.Loc.Node
 
 	// Chaos pipeline (cross-node frames only; see faults.go for the
@@ -449,7 +471,7 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 			if fs.dup > 0 && fs.rng.Float64() < fs.dup && !lost && derr == nil {
 				// The duplicate is decoded independently so the two
 				// deliveries never share mutable payloads.
-				dup2, _ = wire.Unmarshal(frame)
+				dup2, _ = wire.Unmarshal(frame) // fractos:alloc-ok chaos-only path: the duplicate gets its own decode
 			}
 			if fs.jitter > 0 {
 				extra = sim.Time(fs.rng.Int63n(int64(fs.jitter)))
@@ -475,6 +497,7 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 		// (failure as revocation).
 		return true
 	}
+	// fractos:alloc-ok the delivery closure is the per-send in-flight record; it captures only the decoded message
 	n.k.After(done+extra-now, func() {
 		if dst.disconnected {
 			return
@@ -490,6 +513,7 @@ func (n *Net) Send(from, to EndpointID, m wire.Message) bool {
 		if n.trace != nil {
 			n.trace(TraceEvent{At: now, From: from, To: to, Type: m.WireType(), Bytes: nBytes, Class: m.Class()})
 		}
+		// fractos:alloc-ok chaos-only path: the duplicate needs its own in-flight record
 		n.k.After(done2+extra-now, func() {
 			if dst.disconnected {
 				return

@@ -19,6 +19,11 @@ type Chan[T any] struct {
 	recvq  []*recvWaiter[T]
 	closed bool
 
+	// closedMsg is the panic message for sends on a closed channel,
+	// pre-built at construction so the Send hot path asserts without
+	// formatting (assert.True instead of variadic assert.That).
+	closedMsg string
+
 	// freeRecv/freeSend recycle waiter structs across blocking
 	// operations on this channel. Only waiters from plain Send/Recv are
 	// recycled: a RecvTimeout waiter may still be referenced by its
@@ -45,10 +50,14 @@ type recvWaiter[T any] struct {
 
 // NewChan creates a channel. capacity 0 means unbounded.
 func NewChan[T any](k *Kernel, name string, capacity int) *Chan[T] {
-	return &Chan[T]{k: k, name: name, capa: capacity}
+	return &Chan[T]{k: k, name: name, capa: capacity,
+		closedMsg: "sim: send on closed channel " + name}
 }
 
 // getRecv returns a recycled (or new) receive waiter for t.
+//
+//fractos:hotpath
+//fractos:pool-acquire chanwaiter
 func (c *Chan[T]) getRecv(t *Task) *recvWaiter[T] {
 	if n := len(c.freeRecv); n > 0 {
 		rw := c.freeRecv[n-1]
@@ -56,20 +65,26 @@ func (c *Chan[T]) getRecv(t *Task) *recvWaiter[T] {
 		*rw = recvWaiter[T]{t: t}
 		return rw
 	}
-	return &recvWaiter[T]{t: t}
+	return &recvWaiter[T]{t: t} // fractos:alloc-ok cold refill; steady state recycles via putRecv
 }
 
 // putRecv recycles a waiter whose wait has fully completed. The caller
 // must guarantee no other reference to rw survives (true for plain
 // Recv: the waker removes it from recvq before the task resumes).
+//
+//fractos:hotpath
+//fractos:pool-release chanwaiter
 func (c *Chan[T]) putRecv(rw *recvWaiter[T]) {
 	var zero T
 	rw.v = zero
 	rw.t = nil
-	c.freeRecv = append(c.freeRecv, rw)
+	c.freeRecv = append(c.freeRecv, rw) // fractos:alloc-ok free-list growth is amortized
 }
 
 // getSend returns a recycled (or new) send waiter carrying v.
+//
+//fractos:hotpath
+//fractos:pool-acquire chanwaiter
 func (c *Chan[T]) getSend(t *Task, v T) *sendWaiter[T] {
 	if n := len(c.freeSend); n > 0 {
 		sw := c.freeSend[n-1]
@@ -77,15 +92,18 @@ func (c *Chan[T]) getSend(t *Task, v T) *sendWaiter[T] {
 		*sw = sendWaiter[T]{t: t, v: v}
 		return sw
 	}
-	return &sendWaiter[T]{t: t, v: v}
+	return &sendWaiter[T]{t: t, v: v} // fractos:alloc-ok cold refill; steady state recycles via putSend
 }
 
 // putSend recycles a send waiter whose wait has fully completed.
+//
+//fractos:hotpath
+//fractos:pool-release chanwaiter
 func (c *Chan[T]) putSend(sw *sendWaiter[T]) {
 	var zero T
 	sw.v = zero
 	sw.t = nil
-	c.freeSend = append(c.freeSend, sw)
+	c.freeSend = append(c.freeSend, sw) // fractos:alloc-ok free-list growth is amortized
 }
 
 // Len reports how many values are buffered.
@@ -120,8 +138,10 @@ func (c *Chan[T]) Close() {
 }
 
 // Send delivers v, blocking while a bounded buffer is full.
+//
+//fractos:hotpath
 func (c *Chan[T]) Send(t *Task, v T) {
-	assert.That(!c.closed, "sim: send on closed channel %s", c.name)
+	assert.True(!c.closed, c.closedMsg)
 	// Fast path: hand directly to a blocked receiver.
 	if w := c.popRecv(); w != nil {
 		w.v = v
@@ -130,20 +150,22 @@ func (c *Chan[T]) Send(t *Task, v T) {
 		return
 	}
 	if c.capa == 0 || len(c.buf) < c.capa {
-		c.buf = append(c.buf, v)
+		c.buf = append(c.buf, v) // fractos:alloc-ok buffer growth is amortized across the channel's lifetime
 		return
 	}
 	// Bounded and full: block.
 	sw := c.getSend(t, v)
-	c.sendq = append(c.sendq, sw)
+	c.sendq = append(c.sendq, sw) // fractos:pool-ok fractos:alloc-ok parked waiter; the waker unlinks it from sendq before putSend reuses it
 	t.park()
 	ok := sw.ok
 	c.putSend(sw)
-	assert.That(ok, "sim: send on closed channel %s", c.name)
+	assert.True(ok, c.closedMsg)
 }
 
 // TrySend delivers v without blocking. It reports false if a bounded
 // buffer is full or the channel is closed. Safe from kernel context.
+//
+//fractos:hotpath
 func (c *Chan[T]) TrySend(v T) bool {
 	if c.closed {
 		return false
@@ -155,7 +177,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 		return true
 	}
 	if c.capa == 0 || len(c.buf) < c.capa {
-		c.buf = append(c.buf, v)
+		c.buf = append(c.buf, v) // fractos:alloc-ok buffer growth is amortized across the channel's lifetime
 		return true
 	}
 	return false
@@ -163,6 +185,8 @@ func (c *Chan[T]) TrySend(v T) bool {
 
 // Recv blocks until a value is available. ok is false if the channel
 // was closed and drained.
+//
+//fractos:hotpath
 func (c *Chan[T]) Recv(t *Task) (v T, ok bool) {
 	if len(c.buf) > 0 {
 		v = c.takeBuffered()
@@ -173,7 +197,7 @@ func (c *Chan[T]) Recv(t *Task) (v T, ok bool) {
 		return zero, false
 	}
 	rw := c.getRecv(t)
-	c.recvq = append(c.recvq, rw)
+	c.recvq = append(c.recvq, rw) // fractos:pool-ok fractos:alloc-ok parked waiter; the waker unlinks it from recvq before putRecv reuses it
 	t.park()
 	v, ok = rw.v, rw.ok
 	c.putRecv(rw)
@@ -182,6 +206,8 @@ func (c *Chan[T]) Recv(t *Task) (v T, ok bool) {
 
 // TryRecv receives without blocking; ok is false if nothing was
 // available. Safe from kernel context.
+//
+//fractos:hotpath
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
 	if len(c.buf) > 0 {
 		return c.takeBuffered(), true
@@ -220,27 +246,43 @@ func (c *Chan[T]) RecvTimeout(t *Task, d Time) (v T, ok bool) {
 	return rw.v, rw.ok
 }
 
+// takeBuffered pops the oldest buffered value. Queues pop by shifting
+// in place rather than re-slicing c.buf[1:]: a drifting slice base
+// would make every later append reallocate (the freed prefix can
+// never be reused), which showed up as thousands of allocations per
+// run in the delivery path. Queues are short, so the shift is cheap.
+//
+//fractos:hotpath
 func (c *Chan[T]) takeBuffered() T {
 	v := c.buf[0]
+	n := copy(c.buf, c.buf[1:])
 	var zero T
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
+	c.buf[n] = zero
+	c.buf = c.buf[:n]
 	// A freed slot may admit a blocked sender.
 	if len(c.sendq) > 0 && (c.capa == 0 || len(c.buf) < c.capa) {
 		sw := c.sendq[0]
-		c.sendq = c.sendq[1:]
+		m := copy(c.sendq, c.sendq[1:])
+		c.sendq[m] = nil
+		c.sendq = c.sendq[:m]
 		sw.rm = true
 		sw.ok = true
-		c.buf = append(c.buf, sw.v)
+		c.buf = append(c.buf, sw.v) // fractos:alloc-ok slot was just vacated; append reuses the freed capacity
 		sw.t.wakeAfter(0)
 	}
 	return v
 }
 
+// popRecv dequeues the oldest live receive waiter, shifting in place
+// (see takeBuffered) so the queue's backing array stays reusable.
+//
+//fractos:hotpath
 func (c *Chan[T]) popRecv() *recvWaiter[T] {
 	for len(c.recvq) > 0 {
 		w := c.recvq[0]
-		c.recvq = c.recvq[1:]
+		n := copy(c.recvq, c.recvq[1:])
+		c.recvq[n] = nil
+		c.recvq = c.recvq[:n]
 		if w.rm {
 			continue
 		}

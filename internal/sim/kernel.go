@@ -67,8 +67,10 @@ type eventHeap struct {
 	es []*event
 }
 
+//fractos:hotpath
 func (h *eventHeap) len() int { return len(h.es) }
 
+//fractos:hotpath
 func evLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -76,12 +78,16 @@ func evLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+//fractos:hotpath
+//fractos:pool-handoff simevent
 func (h *eventHeap) push(e *event) {
-	h.es = append(h.es, e)
+	h.es = append(h.es, e) // fractos:alloc-ok heap backing growth is amortized
 	h.up(len(h.es) - 1)
 }
 
 // pop removes and returns the minimum event.
+//
+//fractos:hotpath
 func (h *eventHeap) pop() *event {
 	e := h.es[0]
 	n := len(h.es) - 1
@@ -99,6 +105,8 @@ func (h *eventHeap) pop() *event {
 
 // remove deletes an arbitrary event from the heap by its tracked
 // position (stale-wake cancellation).
+//
+//fractos:hotpath
 func (h *eventHeap) remove(e *event) {
 	i := int(e.pos)
 	n := len(h.es) - 1
@@ -114,6 +122,7 @@ func (h *eventHeap) remove(e *event) {
 	e.pos = posFree
 }
 
+//fractos:hotpath
 func (h *eventHeap) up(i int) {
 	es := h.es
 	e := es[i]
@@ -130,6 +139,7 @@ func (h *eventHeap) up(i int) {
 	e.pos = int32(i)
 }
 
+//fractos:hotpath
 func (h *eventHeap) down(i int) {
 	es := h.es
 	n := len(es)
@@ -170,9 +180,11 @@ type eventRing struct {
 	n    int
 }
 
+//fractos:hotpath
+//fractos:pool-handoff simevent
 func (r *eventRing) push(e *event) {
 	if r.n == len(r.buf) {
-		r.grow()
+		r.grow() // fractos:alloc-ok ring doubling is amortized; steady state never grows
 	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
 	r.n++
@@ -191,8 +203,10 @@ func (r *eventRing) grow() {
 	r.head = 0
 }
 
+//fractos:hotpath
 func (r *eventRing) front() *event { return r.buf[r.head] }
 
+//fractos:hotpath
 func (r *eventRing) popFront() *event {
 	e := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -313,6 +327,9 @@ func (k *Kernel) fail(msg string) {
 }
 
 // alloc takes an event struct from the pool (or allocates one).
+//
+//fractos:hotpath
+//fractos:pool-acquire simevent
 func (k *Kernel) alloc() *event {
 	if n := len(k.free); n > 0 {
 		e := k.free[n-1]
@@ -320,19 +337,24 @@ func (k *Kernel) alloc() *event {
 		k.free = k.free[:n-1]
 		return e
 	}
-	return &event{pos: posFree}
+	return &event{pos: posFree} // fractos:alloc-ok cold refill; steady state recycles via release
 }
 
 // release resets an event and returns it to the pool.
+//
+//fractos:hotpath
+//fractos:pool-release simevent
 func (k *Kernel) release(e *event) {
 	e.task = nil
 	e.fn = nil
 	e.pos = posFree
-	k.free = append(k.free, e)
+	k.free = append(k.free, e) // fractos:alloc-ok free-list growth is amortized
 }
 
 // schedule queues an occurrence at time at. Same-instant events take
 // the FIFO run-queue fast path; future events go through the heap.
+//
+//fractos:hotpath
 func (k *Kernel) schedule(at Time, t *Task, fn func()) *event {
 	e := k.alloc()
 	k.seq++
@@ -343,11 +365,13 @@ func (k *Kernel) schedule(at Time, t *Task, fn func()) *event {
 	} else {
 		k.heap.push(e)
 	}
-	return e
+	return e // fractos:pool-ok the queue owns e after push; the returned handle exists only so cancel can find it
 }
 
 // cancel drops a queued event: removed in place from the heap, or
 // tombstoned in the run queue (reclaimed on pop).
+//
+//fractos:hotpath
 func (k *Kernel) cancel(e *event) {
 	if e.pos >= 0 {
 		k.heap.remove(e)
@@ -362,6 +386,8 @@ func (k *Kernel) cancel(e *event) {
 
 // After schedules fn to run in kernel context at now+d. fn must not
 // block; to perform blocking work, have fn call Spawn.
+//
+//fractos:hotpath
 func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
@@ -371,6 +397,8 @@ func (k *Kernel) After(d Time, fn func()) {
 
 // park blocks the calling task until the kernel wakes it.
 // Must be called from the running task's goroutine.
+//
+//fractos:hotpath
 func (t *Task) park() {
 	t.hand <- struct{}{}
 	<-t.hand
@@ -383,6 +411,8 @@ func (t *Task) park() {
 // wakeAfter marks t runnable at now+d. If a wake is already queued for
 // the task (it is being re-scheduled), the stale event is dropped from
 // the queue instead of leaking until pop: the latest wake wins.
+//
+//fractos:hotpath
 func (t *Task) wakeAfter(d Time) {
 	if t.wake != nil {
 		t.k.cancel(t.wake)
@@ -392,6 +422,8 @@ func (t *Task) wakeAfter(d Time) {
 }
 
 // Sleep suspends the task for d of virtual time.
+//
+//fractos:hotpath
 func (t *Task) Sleep(d Time) {
 	if d <= 0 {
 		// Even a zero-length sleep is a scheduling point: other work
@@ -404,6 +436,8 @@ func (t *Task) Sleep(d Time) {
 
 // Yield gives other runnable tasks at the current instant a chance to
 // run before the calling task continues.
+//
+//fractos:hotpath
 func (t *Task) Yield() { t.Sleep(0) }
 
 // Run executes events until the queue is empty or Stop is called. It
@@ -418,9 +452,10 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	return k.run(deadline)
 }
 
+//fractos:hotpath
 func (k *Kernel) run(deadline Time) Time {
 	var processed uint64
-	defer func() { totalEvents.Add(processed) }()
+	defer func() { totalEvents.Add(processed) }() // fractos:alloc-ok one closure per Run call, not per event
 	for (k.runq.n > 0 || k.heap.len() > 0) && !k.stopped {
 		// Choose the next event in global (at, seq) order. Run-queue
 		// entries all carry the current timestamp and were sequenced

@@ -45,7 +45,11 @@ const maxPooledWriter = 1 << 20
 // GetWriter returns a pooled Writer, reset and pre-grown to sizeHint
 // bytes of capacity. Callers that are done with the encoded bytes
 // should call Release; keeping the buffer is also safe (it simply
-// never returns to the pool).
+// never returns to the pool), but then poolcheck requires a
+// fractos:pool-ok waiver documenting who owns it.
+//
+//fractos:hotpath
+//fractos:pool-acquire wirebuf
 func GetWriter(sizeHint int) *Writer {
 	w := writerPool.Get().(*Writer)
 	w.buf = w.buf[:0]
@@ -55,6 +59,9 @@ func GetWriter(sizeHint int) *Writer {
 
 // Release returns the Writer (and its buffer) to the pool. The caller
 // must not retain w or any slice of w.Bytes() afterwards.
+//
+//fractos:hotpath
+//fractos:pool-release wirebuf
 func (w *Writer) Release() {
 	if cap(w.buf) > maxPooledWriter {
 		w.buf = nil
@@ -67,11 +74,13 @@ func (w *Writer) Release() {
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Grow ensures capacity for at least n more bytes.
+//
+//fractos:hotpath
 func (w *Writer) Grow(n int) {
 	if n <= cap(w.buf)-len(w.buf) {
 		return
 	}
-	nb := make([]byte, len(w.buf), len(w.buf)+n)
+	nb := make([]byte, len(w.buf), len(w.buf)+n) // fractos:alloc-ok cold path: hot callers pre-size via EncodedSize so capacity suffices
 	copy(nb, w.buf)
 	w.buf = nb
 }
@@ -83,18 +92,28 @@ func (w *Writer) Bytes() []byte { return w.buf }
 func (w *Writer) Len() int { return len(w.buf) }
 
 // U8 appends one byte.
-func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+//
+//fractos:hotpath
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) } // fractos:alloc-ok appends into capacity pre-grown by Grow/EncodedSize
 
 // U16 appends a little-endian uint16.
+//
+//fractos:hotpath
 func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
 
 // U32 appends a little-endian uint32.
+//
+//fractos:hotpath
 func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
 
 // U64 appends a little-endian uint64.
+//
+//fractos:hotpath
 func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
 
 // Bool appends a boolean as one byte.
+//
+//fractos:hotpath
 func (w *Writer) Bool(v bool) {
 	if v {
 		w.U8(1)
@@ -104,9 +123,11 @@ func (w *Writer) Bool(v bool) {
 }
 
 // Bytes32 appends a length-prefixed (uint32) byte slice.
+//
+//fractos:hotpath
 func (w *Writer) Bytes32(b []byte) {
 	w.U32(uint32(len(b)))
-	w.buf = append(w.buf, b...)
+	w.buf = append(w.buf, b...) // fractos:alloc-ok appends into capacity pre-grown by Grow/EncodedSize
 }
 
 // String32 appends a length-prefixed string.
@@ -126,6 +147,8 @@ func NewReader(b []byte) *Reader { return &Reader{buf: b} }
 
 // Reset re-points the Reader at a new buffer, clearing any sticky
 // error, so a Reader value can be reused without allocation.
+//
+//fractos:hotpath
 func (r *Reader) Reset(b []byte) {
 	r.buf = b
 	r.off = 0
@@ -138,6 +161,7 @@ func (r *Reader) Err() error { return r.err }
 // Remaining reports how many bytes are left.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 
+//fractos:hotpath
 func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
@@ -152,6 +176,8 @@ func (r *Reader) take(n int) []byte {
 }
 
 // U8 reads one byte.
+//
+//fractos:hotpath
 func (r *Reader) U8() uint8 {
 	b := r.take(1)
 	if b == nil {
@@ -161,6 +187,8 @@ func (r *Reader) U8() uint8 {
 }
 
 // U16 reads a little-endian uint16.
+//
+//fractos:hotpath
 func (r *Reader) U16() uint16 {
 	b := r.take(2)
 	if b == nil {
@@ -170,6 +198,8 @@ func (r *Reader) U16() uint16 {
 }
 
 // U32 reads a little-endian uint32.
+//
+//fractos:hotpath
 func (r *Reader) U32() uint32 {
 	b := r.take(4)
 	if b == nil {
@@ -179,6 +209,8 @@ func (r *Reader) U32() uint32 {
 }
 
 // U64 reads a little-endian uint64.
+//
+//fractos:hotpath
 func (r *Reader) U64() uint64 {
 	b := r.take(8)
 	if b == nil {
@@ -188,6 +220,8 @@ func (r *Reader) U64() uint64 {
 }
 
 // Bool reads a boolean.
+//
+//fractos:hotpath
 func (r *Reader) Bool() bool { return r.U8() != 0 }
 
 // Bytes32 reads a length-prefixed byte slice. The result is a copy so
@@ -252,20 +286,31 @@ func Register(t Type, fn func() Message) {
 	registry[t] = fn
 }
 
-// Marshal encodes a message with its type header. The buffer is
-// allocated at the exact encoded size (via EncodedSize), so encoding
-// performs a single allocation and never grows.
+// Marshal encodes a message with its type header. The returned buffer
+// is allocated at the exact encoded size (via EncodedSize), so
+// encoding performs a single allocation: the frame is built in a
+// pooled Writer and copied out. (Encoding directly into a local Writer
+// would be two allocations — the interface call m.Encode(&w) makes the
+// Writer escape.) The AllocsPerRun gate in bench_test.go pins the
+// single-allocation contract at runtime.
+//
+//fractos:hotpath
 func Marshal(m Message) []byte {
-	w := Writer{buf: make([]byte, 0, 2+m.EncodedSize())}
+	w := GetWriter(2 + m.EncodedSize())
 	w.U16(uint16(m.WireType()))
-	m.Encode(&w)
-	return w.buf
+	m.Encode(w)
+	out := make([]byte, len(w.buf)) // fractos:alloc-ok the single exact-size allocation Marshal exists to make
+	copy(out, w.buf)
+	w.Release()
+	return out
 }
 
 // AppendMarshal encodes a message with its type header, appending to
 // dst and returning the extended buffer. Passing dst[:0] of a retained
 // buffer gives an allocation-free encode once the buffer has grown to
 // the message's size; this is the hot-path entry the fabric uses.
+//
+//fractos:hotpath
 func AppendMarshal(dst []byte, m Message) []byte {
 	w := Writer{buf: dst}
 	w.Grow(2 + m.EncodedSize())
@@ -276,6 +321,8 @@ func AppendMarshal(dst []byte, m Message) []byte {
 
 // MarshalTo encodes a message with its type header into w (typically a
 // pooled Writer from GetWriter), pre-growing to the exact frame size.
+//
+//fractos:hotpath
 func MarshalTo(w *Writer, m Message) {
 	w.Grow(2 + m.EncodedSize())
 	w.U16(uint16(m.WireType()))
@@ -308,4 +355,6 @@ func Unmarshal(b []byte) (Message, error) {
 
 // SizeOf returns the encoded size of a message including the type
 // header, without encoding anything.
+//
+//fractos:hotpath
 func SizeOf(m Message) int { return 2 + m.EncodedSize() }

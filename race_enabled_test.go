@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation gates in bench_test.go skip under -race: instrumentation
+// adds its own allocations, so the counts are not meaningful there.
+const raceEnabled = true

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/allocfree"
+	"fractos/tools/analyzers/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "af/allocfree")
+}

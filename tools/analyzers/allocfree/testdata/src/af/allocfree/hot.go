@@ -1,0 +1,108 @@
+// Package allocfree exercises the hot-path allocation analyzer.
+package allocfree
+
+import "fmt"
+
+var total int
+
+type T struct{ x int }
+
+// ---- clean ----
+
+// cleanHot only does arithmetic through an allocation-free helper.
+//
+//fractos:hotpath
+func cleanHot(a, b int) int {
+	return mix(a, b)
+}
+
+func mix(a, b int) int { return a*31 + b }
+
+// ---- direct allocation sources ----
+
+//fractos:hotpath
+func directMake(n int) {
+	s := make([]int, n) // want `hot path directMake: make allocates`
+	total += len(s)
+}
+
+//fractos:hotpath
+func usesFmt(n int) {
+	fmt.Println(n) // want `hot path usesFmt: fmt call allocates`
+}
+
+//fractos:hotpath
+func concat(a, b string) string {
+	return a + b // want `hot path concat: string concatenation allocates`
+}
+
+//fractos:hotpath
+func convert(b []byte) string {
+	return string(b) // want `hot path convert: string conversion allocates`
+}
+
+//fractos:hotpath
+func heapLit() *T {
+	return &T{} // want `hot path heapLit: heap composite literal allocates`
+}
+
+//fractos:hotpath
+func sliceLit() {
+	total += len([]int{1, 2, 3}) // want `hot path sliceLit: slice literal allocates`
+}
+
+//fractos:hotpath
+func closure() {
+	f := func() { total++ } // want `hot path closure: function literal \(closure\) allocates`
+	f()
+}
+
+//fractos:hotpath
+func boxes(n int) {
+	variadic(n) // want `hot path boxes: interface boxing`
+}
+
+func variadic(args ...interface{}) {
+	total += len(args)
+}
+
+// ---- transitive: the allocation is two calls away ----
+
+//fractos:hotpath
+func twoHops() {
+	helperA() // want `hot path twoHops: helperA calls helperB has make at`
+}
+
+func helperA() { helperB() }
+
+func helperB() {
+	s := make([]int, 4)
+	total += len(s)
+}
+
+// ---- waived ----
+
+//fractos:hotpath
+func amortized(b []byte, x byte) []byte {
+	return append(b, x) // fractos:alloc-ok growth is amortized; steady state reuses capacity
+}
+
+//fractos:hotpath
+func coldRefill() {
+	if total == 0 {
+		refill() // fractos:alloc-ok pool refill is the cold path
+	}
+}
+
+func refill() {
+	chunk := make([]int, 32)
+	total += len(chunk)
+}
+
+// chainTop calls a hotpath helper whose only allocation is waived.
+//
+//fractos:hotpath
+func chainTop(b []byte, x byte) {
+	bs := amortized(b, x)
+	total += len(bs)
+}

@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one static check.
@@ -46,9 +47,53 @@ type Pass struct {
 	// Report is invoked for each diagnostic. Set by the driver.
 	Report func(Diagnostic)
 
+	// Module, when set by the driver, gives interprocedural analyzers
+	// a view of every source package loaded alongside this one, plus a
+	// shared fact cache (the stand-in for x/tools' Facts machinery).
+	// Analyzers must tolerate a nil Module by degrading to the single
+	// package in Files.
+	Module *Module
+
 	// suppress maps file -> set of lines carrying a suppression
 	// marker, built lazily per pass.
 	suppress map[string]map[int][]string
+}
+
+// ModulePackage is one source-loaded package of the module view.
+type ModulePackage struct {
+	Pkg       *types.Package
+	Files     []*ast.File
+	TypesInfo *types.Info
+}
+
+// Module is the whole-module view shared by all passes of one driver
+// run: every source package the loader materialized (module packages
+// and, under analysistest, testdata packages), one shared FileSet, and
+// a compute-once fact cache keyed by string. Fact is safe for
+// concurrent use; the first caller builds, later callers reuse.
+type Module struct {
+	Fset     *token.FileSet
+	Packages []*ModulePackage
+
+	mu    sync.Mutex
+	facts map[string]interface{}
+}
+
+// Fact returns the cached value for key, building it on first use.
+// The build function runs at most once per Module; concurrent callers
+// block until it completes.
+func (m *Module) Fact(key string, build func() interface{}) interface{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.facts[key]; ok {
+		return v
+	}
+	v := build()
+	if m.facts == nil {
+		m.facts = make(map[string]interface{})
+	}
+	m.facts[key] = v
+	return v
 }
 
 // Reportf reports a formatted diagnostic at pos.

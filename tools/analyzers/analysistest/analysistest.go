@@ -31,6 +31,14 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 	if err != nil {
 		t.Fatalf("loading testdata: %v", err)
 	}
+	// Interprocedural analyzers see every loaded testdata package (the
+	// requested ones plus their in-root dependencies) as the module.
+	module := &analysis.Module{Fset: ld.Fset}
+	for _, pkg := range ld.Loaded() {
+		module.Packages = append(module.Packages, &analysis.ModulePackage{
+			Pkg: pkg.Types, Files: pkg.Files, TypesInfo: pkg.TypesInfo,
+		})
+	}
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			t.Fatalf("testdata package %s has type errors: %v", pkg.PkgPath, pkg.Errors)
@@ -42,6 +50,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Module:    module,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if _, err := a.Run(pass); err != nil {

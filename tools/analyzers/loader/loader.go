@@ -163,6 +163,21 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	return l.Load(paths...)
 }
 
+// Loaded returns every source package materialized so far (requested
+// packages and their in-module or in-root dependencies), sorted by
+// import path. Standard-library fallback imports are not included —
+// they carry no syntax.
+func (l *Loader) Loaded() []*Package {
+	var pkgs []*Package
+	for _, e := range l.cache {
+		if e.pkg != nil {
+			pkgs = append(pkgs, e.pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs
+}
+
 // resolveDir maps an import path to a source directory, or "" if the
 // path is not under a source root or the module.
 func (l *Loader) resolveDir(path string) string {
