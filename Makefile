@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos bench bench-json eval trace examples clean
+.PHONY: all build vet lint test race chaos determinism bench bench-json eval trace examples clean
 
 all: build vet lint test
 
@@ -37,14 +37,23 @@ chaos:
 		./internal/core/ ./internal/fabric/ ./internal/proc/ \
 		./internal/services/ ./internal/testbed/ ./internal/exp/
 
+# determinism runs the PDES acceptance matrix under the race detector
+# at 1 and 4 CPUs: byte-identical traces and event counts across runs,
+# shard counts, and GOMAXPROCS (sim engine ordering property tests,
+# the fabric mesh ring, and the full-stack experiment matrix).
+determinism:
+	$(GO) test -race -cpu 1,4 -count=1 \
+		-run 'Determinism|EnginePost|EngineSingleShard|MeshRing' \
+		./internal/sim/ ./internal/fabric/ ./internal/exp/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the wall-clock perf suite (internal/perf) and writes
 # the machine-readable report tracked across PRs; see
 # docs/PERFORMANCE.md for the methodology and how to compare runs.
-# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR7.json
-BENCH_OUT ?= BENCH_PR6.json
+# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR7.json
 
 bench-json:
 	$(GO) run ./cmd/fractos-bench -json > $(BENCH_OUT)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -124,5 +125,84 @@ func TestTraceDeterminism(t *testing.T) {
 		specB, runB := w.mk()
 		b := captureTrace(t, specB, runB)
 		diffTraces(t, w.name, a, b)
+	}
+}
+
+// TestShardMatrixDeterminism is the acceptance matrix for the
+// partition-parallel kernel: every experiment that goes through the
+// testbed must produce byte-identical fabric traces, identical result
+// tables, and an identical event count whether it runs on the classic
+// single kernel or under a multi-shard engine, at any GOMAXPROCS.
+// The cluster workload stays shard-0-resident (Spec.Shards doc), so
+// the multi-shard runs exercise the conservative windowing machinery —
+// window bounds, barrier scans, inline single-shard dispatch — without
+// changing the schedule.
+func TestShardMatrixDeterminism(t *testing.T) {
+	cfg := faceverify.Config{Batch: 8, Files: 2, Slots: 1}
+	fvTrace := func() string {
+		fv := &stacks.FaceVerify{Cfg: cfg}
+		spec := testbed.Spec{Nodes: 4, Placement: core.CtrlOnSNIC,
+			Services: []testbed.Service{fv}}
+		return captureTrace(t, spec, func(tk *sim.Task, d *testbed.Deployment) {
+			rng := newRand(5)
+			for i := 0; i < cfg.Files; i++ {
+				r := faceverify.MakeRequest(fv.DB, i, cfg.Batch, rng)
+				if _, err := fv.Verify(tk, r); err != nil {
+					t.Errorf("faceverify request %d: %v", i, err)
+					return
+				}
+			}
+		})
+	}
+	plTrace := func() string {
+		return captureTrace(t, testbed.Spec{Nodes: 5}, func(tk *sim.Task, d *testbed.Deployment) {
+			pl := newPipeline(tk, d.Cl, 4, 4<<10)
+			pl.runStar(tk)
+			pl.runFastStar(tk)
+			pl.runChain(tk)
+		})
+	}
+
+	type snapshot struct {
+		fvTrace, plTrace string
+		figure8, chaos   *Table
+		events           uint64
+	}
+	capture := func() snapshot {
+		var s snapshot
+		e0 := sim.TotalEvents()
+		s.fvTrace = fvTrace()
+		s.plTrace = plTrace()
+		s.figure8 = Figure8()
+		s.chaos = ChaosFaceVerify()
+		s.events = sim.TotalEvents() - e0
+		return s
+	}
+
+	base := capture() // shards=1, ambient GOMAXPROCS
+	for _, shards := range []int{1, 2, 4} {
+		for _, procs := range []int{1, 4} {
+			oldShards := testbed.SetDefaultShards(shards)
+			oldProcs := runtime.GOMAXPROCS(procs)
+			got := capture()
+			runtime.GOMAXPROCS(oldProcs)
+			testbed.SetDefaultShards(oldShards)
+
+			name := fmt.Sprintf("shards=%d procs=%d", shards, procs)
+			diffTraces(t, name+" faceverify", base.fvTrace, got.fvTrace)
+			diffTraces(t, name+" pipeline", base.plTrace, got.plTrace)
+			if !reflect.DeepEqual(base.figure8.Rows, got.figure8.Rows) ||
+				!reflect.DeepEqual(base.figure8.Metrics, got.figure8.Metrics) {
+				t.Errorf("%s: figure8 results differ from single-shard run", name)
+			}
+			if !reflect.DeepEqual(base.chaos.Rows, got.chaos.Rows) ||
+				!reflect.DeepEqual(base.chaos.Metrics, got.chaos.Metrics) {
+				t.Errorf("%s: chaos-fv results differ from single-shard run", name)
+			}
+			if got.events != base.events {
+				t.Errorf("%s: processed %d events, single-shard run processed %d",
+					name, got.events, base.events)
+			}
+		}
 	}
 }

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"testing"
+
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// ringRun drives the canonical shard-determinism workload: nodes
+// endpoints in a ring, node n sending msgs frames to node n+1 with a
+// per-node send gap, receivers draining their inboxes. It returns the
+// merged trace, summed stats, the events processed, and the final
+// virtual time.
+func ringRun(t *testing.T, shards, nodes, msgs int) ([]TraceEvent, Stats, uint64, sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine(11, shards)
+	m := NewMesh(eng, Profile{}, nodes)
+	m.EnableTrace()
+	eps := make([]*Endpoint, nodes)
+	for n := 0; n < nodes; n++ {
+		eps[n] = m.Attach("hub", Location{Node: n}, 0)
+	}
+	ev0 := sim.TotalEvents()
+	for n := 0; n < nodes; n++ {
+		n := n
+		src, dst := eps[n].ID, eps[(n+1)%nodes].ID
+		gap := sim.Time(n+1) * 1000
+		k := eng.Shard(m.Owner(n))
+		k.Spawn("sender", func(tk *sim.Task) {
+			for i := 0; i < msgs; i++ {
+				tk.Sleep(gap)
+				if !m.Send(src, dst, &wire.Null{Token: uint64(n*1000 + i)}) {
+					t.Errorf("send %d from node %d refused", i, n)
+				}
+			}
+		})
+		k.Spawn("drain", func(tk *sim.Task) {
+			for {
+				if _, ok := eps[n].Inbox.Recv(tk); !ok {
+					return
+				}
+			}
+		})
+	}
+	end := eng.Run()
+	eng.Shutdown()
+	return m.Trace(), m.Stats(), sim.TotalEvents() - ev0, end
+}
+
+// TestMeshRingDeterminism is the fabric half of the determinism
+// matrix: the ring workload's merged trace, traffic counters, event
+// count, and final clock are byte-identical at every shard count.
+func TestMeshRingDeterminism(t *testing.T) {
+	const nodes, msgs = 8, 40
+	wantTrace, wantStats, wantEvents, wantEnd := ringRun(t, 1, nodes, msgs)
+	if len(wantTrace) != nodes*msgs {
+		t.Fatalf("baseline trace has %d events, want %d", len(wantTrace), nodes*msgs)
+	}
+	if wantStats.CrossNodeMsgs != int64(nodes*msgs) {
+		t.Fatalf("baseline counted %d cross-node msgs, want %d", wantStats.CrossNodeMsgs, nodes*msgs)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		trace, stats, events, end := ringRun(t, shards, nodes, msgs)
+		if stats != wantStats {
+			t.Errorf("shards=%d stats %+v, want %+v", shards, stats, wantStats)
+		}
+		if events != wantEvents {
+			t.Errorf("shards=%d processed %d events, want %d", shards, events, wantEvents)
+		}
+		if end != wantEnd {
+			t.Errorf("shards=%d final time %d, want %d", shards, end, wantEnd)
+		}
+		if len(trace) != len(wantTrace) {
+			t.Fatalf("shards=%d trace has %d events, want %d", shards, len(trace), len(wantTrace))
+		}
+		for i := range wantTrace {
+			if trace[i] != wantTrace[i] {
+				t.Fatalf("shards=%d trace[%d] = %+v, want %+v", shards, i, trace[i], wantTrace[i])
+			}
+		}
+	}
+}
+
+// TestMeshSameNodeSend pins that co-located endpoints talk shard-
+// locally with the single-kernel Net's same-node timing, even when
+// the mesh spans several shards.
+func TestMeshSameNodeSend(t *testing.T) {
+	eng := sim.NewEngine(2, 4)
+	m := NewMesh(eng, DefaultProfile(), 4)
+	a := m.Attach("a", Location{Node: 2}, 0)
+	b := m.Attach("b", Location{Node: 2, Domain: SNIC}, 0)
+
+	// Oracle: the same pair on a plain single-kernel Net.
+	ok := sim.New(2)
+	onet := New(ok, DefaultProfile())
+	oa := onet.Attach("a", Location{Node: 2}, 0)
+	ob := onet.Attach("b", Location{Node: 2, Domain: SNIC}, 0)
+
+	var gotAt, wantAt sim.Time
+	k := eng.Shard(m.Owner(2))
+	k.Spawn("send", func(tk *sim.Task) {
+		if !m.Send(a.ID, b.ID, &wire.Null{Token: 7}) {
+			t.Error("mesh same-node send refused")
+		}
+		d, okr := b.Inbox.Recv(tk)
+		if !okr || d.Msg.(*wire.Null).Token != 7 {
+			t.Errorf("mesh delivery = %+v", d)
+		}
+		gotAt = tk.Now()
+	})
+	ok.Spawn("send", func(tk *sim.Task) {
+		onet.Send(oa.ID, ob.ID, &wire.Null{Token: 7})
+		ob.Inbox.Recv(tk)
+		wantAt = tk.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	ok.Run()
+	ok.Shutdown()
+	if gotAt != wantAt {
+		t.Fatalf("mesh same-node delivery at %d, Net oracle at %d", gotAt, wantAt)
+	}
+	if s := m.Stats(); s.CrossNodeMsgs != 0 || s.ControlMsgs != 1 {
+		t.Fatalf("same-node send accounted as %+v", s)
+	}
+}
+
+// TestMeshLookaheadFloor pins the degenerate-profile path: a profile
+// whose latencies are all zero still yields a positive lookahead, and
+// cross-node deliveries are floored onto it instead of arriving at
+// the sender's own instant.
+func TestMeshLookaheadFloor(t *testing.T) {
+	eng := sim.NewEngine(3, 2)
+	p := Profile{WireBW: 1e12, LocalBW: 1e12}
+	m := NewMesh(eng, p, 2)
+	if m.Lookahead() != 1 {
+		t.Fatalf("zero-latency profile lookahead = %d, want 1", m.Lookahead())
+	}
+	a := m.Attach("a", Location{Node: 0}, 0)
+	b := m.Attach("b", Location{Node: 1}, 0)
+	var sentAt, gotAt sim.Time
+	eng.Shard(0).Spawn("send", func(tk *sim.Task) {
+		tk.Sleep(10)
+		sentAt = tk.Now()
+		m.Send(a.ID, b.ID, &wire.Null{Token: 1})
+	})
+	eng.Shard(1).Spawn("recv", func(tk *sim.Task) {
+		b.Inbox.Recv(tk)
+		gotAt = tk.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if gotAt < sentAt+m.Lookahead() {
+		t.Fatalf("delivery at %d, sent at %d: below the lookahead floor", gotAt, sentAt)
+	}
+}
+
+// TestMeshProfileLookahead pins the lookahead derivation from the
+// default profile: min exit + cross-node + min entry.
+func TestMeshProfileLookahead(t *testing.T) {
+	eng := sim.NewEngine(4, 2)
+	m := NewMesh(eng, DefaultProfile(), 2)
+	p := DefaultProfile()
+	want := p.SNICExit + p.CrossNode + p.HostEntry // 300 + 850 + 610
+	if m.Lookahead() != want {
+		t.Fatalf("lookahead = %d, want %d", m.Lookahead(), want)
+	}
+	if eng.Lookahead() != want {
+		t.Fatal("mesh did not install its lookahead on the engine")
+	}
+	eng.Shutdown()
+}

@@ -62,7 +62,7 @@ type Case struct {
 
 // Cases lists every benchmark in the suite, hot-path first.
 func Cases() []Case {
-	return []Case{
+	cs := []Case{
 		{"kernel/dispatch", benchKernelDispatch},
 		{"kernel/timers", benchKernelTimers},
 		{"kernel/pingpong", benchKernelPingpong},
@@ -75,6 +75,7 @@ func Cases() []Case {
 		{"exp/figure8", benchFigure8},
 		{"exp/faceverify", benchFaceVerify},
 	}
+	return append(cs, scaleCases()...)
 }
 
 // Find returns the case with the given name.
@@ -193,15 +194,19 @@ func benchKernelDispatch(b *testing.B) {
 // mixed durations, ~6.4k timer events per op plus the park/resume
 // handoff for each.
 func benchKernelTimers(b *testing.B) {
+	// One capture-free body shared by all tasks (the per-task period is
+	// derived from the spawn-ordered id), so the benchmark measures the
+	// kernel's allocations, not 64 closure captures per iteration.
+	body := func(t *sim.Task) {
+		d := sim.Time(int(t.ID()-1)%9+1) * 100
+		for s := 0; s < 100; s++ {
+			t.Sleep(d)
+		}
+	}
 	for i := 0; i < b.N; i++ {
 		k := sim.New(7)
 		for j := 0; j < 64; j++ {
-			d := sim.Time(j%9+1) * 100
-			k.Spawn("timer", func(t *sim.Task) {
-				for s := 0; s < 100; s++ {
-					t.Sleep(d)
-				}
-			})
+			k.Spawn("timer", body)
 		}
 		k.Run()
 		k.Shutdown()

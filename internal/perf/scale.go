@@ -1,0 +1,93 @@
+// Scale benchmarks: how fast the partition-parallel engine pushes
+// simulation events at 10k/100k/1M-task scale, across shard counts.
+// These are the numbers behind the events/sec table in
+// docs/PERFORMANCE.md and the scale-sim rows of BENCH_PR*.json.
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"fractos/internal/fabric"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// scaleCases builds the scale-sim/<tasks>-s<shards> grid.
+func scaleCases() []Case {
+	var cs []Case
+	for _, tc := range []struct {
+		label string
+		tasks int
+	}{
+		{"10k", 10_000},
+		{"100k", 100_000},
+		{"1m", 1_000_000},
+	} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			tasks, shards := tc.tasks, shards
+			cs = append(cs, Case{
+				Name: fmt.Sprintf("scale-sim/%s-s%d", tc.label, shards),
+				Fn:   func(b *testing.B) { benchScaleSim(b, tasks, shards) },
+			})
+		}
+	}
+	return cs
+}
+
+// benchScaleSim drives the canonical partitioned workload: an 8-node
+// mesh ring where node n's workers each send one frame from hub n to
+// hub n+1. Workers are spawned in bounded waves (a sim.WaitGroup per
+// node) so live-task count stays within the task pool at any scale,
+// and their wakes are spread over ~1µs so every conservative window
+// carries thousands of events per shard. The same total task count is
+// measured at every shard width, so events/sec across the s1..s8
+// variants is the engine's parallel speedup.
+func benchScaleSim(b *testing.B, tasks, shards int) {
+	const nodes = 8
+	const wave = 4096
+	perNode := tasks / nodes
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(17, shards)
+		m := fabric.NewMesh(eng, fabric.Profile{}, nodes)
+		hubs := make([]*fabric.Endpoint, nodes)
+		for n := 0; n < nodes; n++ {
+			hubs[n] = m.Attach("hub", fabric.Location{Node: n}, 0)
+		}
+		for n := 0; n < nodes; n++ {
+			n := n
+			k := eng.Shard(m.Owner(n))
+			src, dst := hubs[n].ID, hubs[(n+1)%nodes].ID
+			k.Spawn("drain", func(t *sim.Task) {
+				for {
+					if _, ok := hubs[n].Inbox.Recv(t); !ok {
+						return
+					}
+				}
+			})
+			k.Spawn("spawner", func(t *sim.Task) {
+				var wg sim.WaitGroup
+				worker := func(t *sim.Task) {
+					// Spread wakes across ~1µs so windows stay full.
+					t.Sleep(sim.Time(int(t.ID())&1023 + 1))
+					m.Send(src, dst, &wire.Null{Token: uint64(n)})
+					wg.Done()
+				}
+				for done := 0; done < perNode; {
+					batch := wave
+					if rest := perNode - done; rest < batch {
+						batch = rest
+					}
+					wg.Add(batch)
+					for j := 0; j < batch; j++ {
+						k.Spawn("w", worker)
+					}
+					wg.Wait(t)
+					done += batch
+				}
+			})
+		}
+		eng.Run()
+		eng.Shutdown()
+	}
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestEngineSingleShardMatchesKernel pins that a 1-shard engine is
+// indistinguishable from a bare kernel: same seed stream, same event
+// schedule, same final time.
+func TestEngineSingleShardMatchesKernel(t *testing.T) {
+	workload := func(k *Kernel) []Time {
+		var log []Time
+		for i := 0; i < 8; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("w%d", i), func(tk *Task) {
+				for j := 0; j < 5; j++ {
+					tk.Sleep(Time(i+1) * 100)
+					log = append(log, tk.Now())
+				}
+			})
+		}
+		return log
+	}
+
+	k := New(7)
+	logA := workload(k)
+	endA := k.Run()
+	k.Shutdown()
+
+	eng := NewEngine(7, 1)
+	logB := workload(eng.Shard(0))
+	endB := eng.Run()
+	eng.Shutdown()
+
+	if endA != endB {
+		t.Fatalf("final time: kernel %d vs 1-shard engine %d", endA, endB)
+	}
+	if len(logA) != len(logB) {
+		t.Fatalf("log length: %d vs %d", len(logA), len(logB))
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("log[%d]: %d vs %d", i, logA[i], logB[i])
+		}
+	}
+	if eng.Shard(0).Rand().Int63() != New(7).Rand().Int63() {
+		t.Fatal("shard 0 must keep the engine seed")
+	}
+}
+
+type postRec struct {
+	at      Time
+	payload int
+}
+
+// runPostTopology executes one randomized single-source-per-
+// destination topology (a node permutation) on an engine with the
+// given shard count and returns the per-node delivery logs. Delivery
+// sub-microsecond offsets are distinct per source node, so no two
+// events at a destination ever tie on timestamp and the expected
+// schedule is unique.
+func runPostTopology(t *testing.T, seed int64, shards int, perm []int, msgs int, gaps []Time) [][]postRec {
+	t.Helper()
+	nodes := len(perm)
+	const la = Time(500)
+	eng := NewEngine(seed, shards)
+	eng.SetLookahead(la)
+	owner := func(n int) int { return n * shards / nodes }
+	logs := make([][]postRec, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		dstNode := perm[i]
+		dstShard := owner(dstNode)
+		dstK := eng.Shard(dstShard)
+		k := eng.Shard(owner(i))
+		k.Spawn(fmt.Sprintf("sender%d", i), func(tk *Task) {
+			for j := 0; j < msgs; j++ {
+				tk.Sleep(gaps[i])
+				payload := i*1000 + j
+				tk.Kernel().Post(dstShard, la+Time(i), func() {
+					logs[dstNode] = append(logs[dstNode], postRec{at: dstK.Now(), payload: payload})
+				})
+			}
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	return logs
+}
+
+// TestEnginePostOrdering is the property test for the conservative
+// windowing protocol: on randomized topologies, cross-shard delivery
+// order and timestamps at every destination match the single-shard
+// schedule exactly, for every shard count.
+func TestEnginePostOrdering(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nodes := 4 + rng.Intn(5) // 4..8
+		perm := rng.Perm(nodes)
+		msgs := 10 + rng.Intn(20)
+		gaps := make([]Time, nodes)
+		for i := range gaps {
+			// Microsecond-grid sleeps keep sender wakes off the
+			// sub-microsecond delivery offsets.
+			gaps[i] = Time(1+rng.Intn(9)) * 1000
+		}
+		want := runPostTopology(t, 42, 1, perm, msgs, gaps)
+		for _, shards := range []int{2, 3, 4} {
+			got := runPostTopology(t, 42, shards, perm, msgs, gaps)
+			for n := range want {
+				if len(got[n]) != len(want[n]) {
+					t.Fatalf("trial %d shards %d node %d: %d deliveries, want %d",
+						trial, shards, n, len(got[n]), len(want[n]))
+				}
+				for i := range want[n] {
+					if got[n][i] != want[n][i] {
+						t.Fatalf("trial %d shards %d node %d delivery %d: %+v, want %+v",
+							trial, shards, n, i, got[n][i], want[n][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDeterminismAcrossGOMAXPROCS pins that parallel window
+// execution does not leak scheduling nondeterminism into results.
+func TestEngineDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	perm := []int{3, 0, 1, 2}
+	gaps := []Time{1000, 2000, 3000, 4000}
+	var runs [][][]postRec
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		runs = append(runs, runPostTopology(t, 9, 4, perm, 25, gaps))
+		runtime.GOMAXPROCS(old)
+	}
+	for n := range runs[0] {
+		if len(runs[0][n]) != len(runs[1][n]) {
+			t.Fatalf("node %d: delivery counts differ across GOMAXPROCS", n)
+		}
+		for i := range runs[0][n] {
+			if runs[0][n][i] != runs[1][n][i] {
+				t.Fatalf("node %d delivery %d differs across GOMAXPROCS: %+v vs %+v",
+					n, i, runs[0][n][i], runs[1][n][i])
+			}
+		}
+	}
+}
+
+// TestEngineShardSeedsSplit pins that non-zero shards draw
+// independent, deterministic random streams.
+func TestEngineShardSeedsSplit(t *testing.T) {
+	a := NewEngine(5, 4)
+	b := NewEngine(5, 4)
+	for i := 0; i < 4; i++ {
+		if a.Shard(i).Rand().Int63() != b.Shard(i).Rand().Int63() {
+			t.Fatalf("shard %d stream not deterministic", i)
+		}
+	}
+	if shardSeed(5, 1) == shardSeed(5, 2) || shardSeed(5, 1) == 5 {
+		t.Fatal("shard seeds must differ")
+	}
+}
+
+// TestEngineTaskPanicPropagates pins that a panic inside a task on
+// any shard surfaces from Engine.Run on the driver goroutine.
+func TestEngineTaskPanicPropagates(t *testing.T) {
+	eng := NewEngine(1, 2)
+	eng.SetLookahead(100)
+	// Keep shard 0 busy so the parallel path is exercised.
+	eng.Shard(0).Spawn("busy", func(tk *Task) {
+		for i := 0; i < 100; i++ {
+			tk.Sleep(50)
+		}
+	})
+	eng.Shard(1).Spawn("boom", func(tk *Task) {
+		tk.Sleep(300)
+		panic("engine-test-boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from Engine.Run")
+		}
+		if msg, ok := r.(string); !ok || msg != `task "boom" panicked: engine-test-boom` {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+		eng.Shutdown()
+	}()
+	eng.Run()
+}
+
+// TestEngineStopFromTask pins that a task stopping its own shard's
+// kernel halts the whole engine at the next barrier.
+func TestEngineStopFromTask(t *testing.T) {
+	eng := NewEngine(1, 2)
+	eng.SetLookahead(100)
+	steps := 0
+	eng.Shard(0).Spawn("counter", func(tk *Task) {
+		for {
+			tk.Sleep(100)
+			steps++
+		}
+	})
+	eng.Shard(1).Spawn("stopper", func(tk *Task) {
+		tk.Sleep(1000)
+		tk.Kernel().Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if steps == 0 || steps > 12 {
+		t.Fatalf("engine did not stop near the stopper's deadline: %d steps", steps)
+	}
+	if eng.Shard(0).Live() != 0 || eng.Shard(1).Live() != 0 {
+		t.Fatal("Shutdown left live tasks")
+	}
+}
+
+// TestTaskPoolRecycles pins the Spawn fast path: steady-state spawns
+// reuse pooled Task structs and parked goroutines instead of
+// allocating.
+func TestTaskPoolRecycles(t *testing.T) {
+	// Warm the pool with more tasks than the second kernel will hold
+	// live at once, so its measured spawns never hit the cold path.
+	k := New(1)
+	total := 0
+	for i := 0; i < 100; i++ {
+		k.Spawn("unit", func(tk *Task) {
+			tk.Sleep(10)
+			total++
+		})
+	}
+	k.Run()
+	if total != 100 {
+		t.Fatalf("ran %d of 100 tasks", total)
+	}
+	k.Shutdown()
+
+	// Trampolines repool asynchronously after yielding; wait until the
+	// free stack has absorbed the finished tasks before measuring.
+	for i := 0; i < 1000; i++ {
+		taskPool.mu.Lock()
+		n := len(taskPool.free)
+		taskPool.mu.Unlock()
+		if n >= 100 {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	// A second kernel reusing the warmed pool must behave identically.
+	k2 := New(1)
+	total2 := 0
+	for i := 0; i < 50; i++ {
+		k2.Spawn("unit", func(tk *Task) {
+			tk.Sleep(10)
+			total2++
+		})
+	}
+	extra := func(tk *Task) { total2++ }
+	allocs := testing.AllocsPerRun(10, func() {
+		k2.Spawn("extra", extra)
+	})
+	k2.Run()
+	k2.Shutdown()
+	if total2 != 50+11 {
+		t.Fatalf("ran %d tasks, want %d", total2, 61)
+	}
+	// Warm spawns: no Task/goroutine/channel allocations (the task
+	// table insert and event slab refill may allocate occasionally).
+	if !raceEnabled && allocs > 1 {
+		t.Fatalf("warm Spawn allocates %.1f times per call", allocs)
+	}
+}
+
+// TestDirectSwitchKeepsOrder pins the park fast path against the
+// kernel-loop scheduling order: two tasks ping-ponging over channels
+// at one instant interleave exactly FIFO.
+func TestDirectSwitchKeepsOrder(t *testing.T) {
+	k := New(3)
+	ch := NewChan[int](k, "pp", 1)
+	var order []int
+	k.Spawn("a", func(tk *Task) {
+		for i := 0; i < 5; i++ {
+			ch.Send(tk, i)
+			order = append(order, 100+i)
+			tk.Yield()
+		}
+	})
+	k.Spawn("b", func(tk *Task) {
+		for i := 0; i < 5; i++ {
+			v, ok := ch.Recv(tk)
+			if !ok {
+				t.Errorf("channel closed early")
+				return
+			}
+			order = append(order, 200+v)
+		}
+	})
+	k.Run()
+	k.Shutdown()
+	want := []int{100, 200, 101, 201, 102, 202, 103, 203, 104, 204}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}

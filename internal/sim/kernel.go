@@ -9,17 +9,23 @@
 // Two runs of the same program over the same kernel produce identical
 // event orders and identical virtual timestamps.
 //
-// Hot-path design (see docs/PERFORMANCE.md): events are pooled structs
-// ordered by a concrete 4-ary index heap; events scheduled for the
-// current instant bypass the heap through a FIFO run queue; and each
-// task parks/resumes over a single reusable handoff channel. None of
-// this changes the event order contract above — the merged pop order
-// is exactly the global (timestamp, sequence) order the original
+// Hot-path design (see docs/PERFORMANCE.md): events are slab-allocated
+// pooled structs ordered by a concrete 4-ary index heap; events
+// scheduled for the current instant bypass the heap through a FIFO run
+// queue; task goroutines are pooled trampolines (taskpool.go) resumed
+// over a per-task handoff channel and yielding through a single shared
+// channel, which lets a parking task hand control directly to the next
+// runnable task without a round trip through the kernel goroutine.
+// None of this changes the event order contract above — the merged pop
+// order is exactly the global (timestamp, sequence) order the original
 // binary heap produced.
+//
+// For partition-parallel simulation (conservative-lookahead PDES
+// across multiple kernels) see engine.go.
 package sim
 
 import (
-	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync/atomic"
@@ -42,6 +48,9 @@ func TotalEvents() uint64 { return totalEvents.Load() }
 // of the simulation. It deliberately mirrors time.Duration so that
 // durations and timestamps compose with ordinary arithmetic.
 type Time = time.Duration
+
+// maxTime is a sentinel beyond every schedulable timestamp.
+const maxTime = Time(math.MaxInt64)
 
 // event is a scheduled occurrence: either waking a parked task or
 // running a closure in kernel context. Events are pooled by the
@@ -219,25 +228,52 @@ func (r *eventRing) popFront() *event {
 // killSignal unwinds a task goroutine during Kernel.Shutdown.
 type killSignal struct{}
 
+// run-loop bounding modes (loop's mode parameter).
+const (
+	modeAll      int8 = iota // drain everything
+	modeDeadline             // events at <= bound; clamp clock to bound on exit
+	modeWindow               // events at < bound; leave clock at the last event
+)
+
 // Kernel is a discrete-event scheduler. Create one with New, populate
 // it with Spawn, and drive it with Run or RunUntil.
 //
 // A Kernel is not safe for concurrent use from multiple OS threads;
 // all interaction must happen either from the goroutine that calls
 // Run, or from within task functions (which are serialized by the
-// kernel itself).
+// kernel itself). Under an Engine each shard kernel is driven by at
+// most one worker at a time, preserving the same exclusivity.
 type Kernel struct {
 	now      Time
 	seq      uint64
 	heap     eventHeap
 	runq     eventRing
 	free     []*event // pooled event structs
+	slab     []event  // slab the free list refills from, carved one struct at a time
 	running  *Task
 	tasks    map[uint64]*Task
 	nextID   uint64
-	rng      *rand.Rand
+	seed     int64
+	rng      *rand.Rand // lazily built from seed on first Rand()
 	stopped  bool
 	panicMsg string
+
+	// yield is the shared task→kernel handoff: whichever task ends a
+	// run burst (parks with nothing else runnable at this instant, or
+	// finishes) sends one token here to return control to the loop.
+	// Resumes stay per-task over Task.hand.
+	yield chan struct{}
+
+	// processed accumulates popped events across loop iterations and
+	// same-instant fast-path switches (Task.park); flushed into the
+	// process-wide totalEvents counter when a run loop exits.
+	processed uint64
+
+	// Engine wiring (nil/zero outside partition-parallel runs).
+	eng     *Engine   // owning engine, nil for a standalone kernel
+	shard   int       // this kernel's shard index under eng
+	outbox  [][]xpost // per-destination-shard cross-shard posts, drained at barriers
+	postSeq uint64    // sequence numbers for this shard's cross-shard posts
 
 	// wall-clock pacing (see realtime.go).
 	rtFactor float64
@@ -250,16 +286,25 @@ type Kernel struct {
 func New(seed int64) *Kernel {
 	return &Kernel{
 		tasks: make(map[uint64]*Task),
-		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		yield: make(chan struct{}),
 	}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Rand returns the kernel's deterministic random source. It must only
-// be used from task or kernel context.
-func (k *Kernel) Rand() *rand.Rand { return k.rng }
+// Rand returns the kernel's deterministic random source, built lazily
+// from the seed (rand.Source construction is a measurable cost for
+// short-lived kernels that never draw randomness). It must only be
+// used from this kernel's task or kernel context, and never retained
+// by state shared across shards.
+func (k *Kernel) Rand() *rand.Rand {
+	if k.rng == nil {
+		k.rng = rand.New(rand.NewSource(k.seed))
+	}
+	return k.rng
+}
 
 // Task is the handle a spawned function uses to interact with the
 // kernel: sleeping, reading the clock, and (via Chan and Future)
@@ -269,10 +314,10 @@ type Task struct {
 	k    *Kernel
 	id   uint64
 	name string
-	// hand is the task's single handoff channel: the kernel sends one
-	// token to resume the task; the task sends it back to yield.
-	// Strict ping-pong alternation over an unbuffered channel keeps
-	// exactly one side runnable at a time.
+	fn   func(t *Task)
+	// hand resumes the task: the kernel (or a directly switching
+	// sibling task) sends one token here; the task blocks receiving.
+	// Yields go the other way over the kernel's shared yield channel.
 	hand   chan struct{}
 	wake   *event // pending wake event, nil if none queued
 	done   bool
@@ -294,27 +339,16 @@ func (t *Task) Now() Time { return t.k.now }
 // Spawn creates a new task executing fn and schedules it to start at
 // the current virtual time. It may be called from kernel context
 // (before Run, or inside an After closure) or from task context.
+// Task structs and their trampoline goroutines come from a pooled
+// free list (taskpool.go), so steady-state Spawn allocates nothing.
+//
+//fractos:hotpath
 func (k *Kernel) Spawn(name string, fn func(t *Task)) *Task {
 	k.nextID++
-	t := &Task{k: k, id: k.nextID, name: name, hand: make(chan struct{})}
-	k.tasks[t.id] = t
-	go func() {
-		<-t.hand
-		defer func() {
-			t.done = true
-			delete(k.tasks, t.id)
-			if r := recover(); r != nil {
-				if _, ok := r.(killSignal); !ok {
-					// Re-panicking here would crash an unrelated
-					// goroutine; surface the panic through the kernel
-					// so Run's caller sees it.
-					k.fail(fmt.Sprintf("task %q panicked: %v", t.name, r))
-				}
-			}
-			t.hand <- struct{}{}
-		}()
-		fn(t)
-	}()
+	t := getTask()
+	t.k, t.id, t.name, t.fn = k, k.nextID, name, fn
+	t.done, t.killed = false, false
+	k.tasks[t.id] = t // fractos:pool-ok fractos:alloc-ok task table and trampoline share ownership; exec unlinks before the trampoline repools
 	t.wake = k.schedule(k.now, t, nil)
 	return t
 }
@@ -326,7 +360,8 @@ func (k *Kernel) fail(msg string) {
 	}
 }
 
-// alloc takes an event struct from the pool (or allocates one).
+// alloc takes an event struct from the pool. Refills carve a slab of
+// events in one allocation rather than allocating structs one by one.
 //
 //fractos:hotpath
 //fractos:pool-acquire simevent
@@ -337,7 +372,13 @@ func (k *Kernel) alloc() *event {
 		k.free = k.free[:n-1]
 		return e
 	}
-	return &event{pos: posFree} // fractos:alloc-ok cold refill; steady state recycles via release
+	if len(k.slab) == 0 {
+		k.slab = make([]event, 64) // fractos:alloc-ok slab refill: one allocation per 64 events
+	}
+	e := &k.slab[0]
+	k.slab = k.slab[1:]
+	e.pos = posFree
+	return e
 }
 
 // release resets an event and returns it to the pool.
@@ -398,9 +439,52 @@ func (k *Kernel) After(d Time, fn func()) {
 // park blocks the calling task until the kernel wakes it.
 // Must be called from the running task's goroutine.
 //
+// Fast path: if the next event in global (at, seq) order is another
+// task's wake at the current instant, control switches directly to
+// that task — one channel operation instead of two round trips
+// through the kernel goroutine. If it is the calling task's own wake
+// (Yield with nothing else runnable), park returns without blocking
+// at all. The pop here follows exactly the selection rule of the run
+// loop, so event order is byte-identical with the fast path on or off.
+//
 //fractos:hotpath
 func (t *Task) park() {
-	t.hand <- struct{}{}
+	k := t.k
+	for k.runq.n > 0 && !k.stopped && k.panicMsg == "" &&
+		(k.heap.len() == 0 || k.heap.es[0].at != k.now) {
+		e := k.runq.front()
+		nt := e.task
+		if nt == nil {
+			if e.fn != nil {
+				break // kernel-context closure: the run loop must execute it
+			}
+			k.runq.popFront() // cancelled tombstone: reclaim and keep scanning
+			k.processed++
+			k.release(e)
+			continue
+		}
+		if nt.done {
+			break // stale wake: let the run loop discard it
+		}
+		k.runq.popFront()
+		k.processed++
+		if nt.wake == e {
+			nt.wake = nil
+		}
+		k.release(e)
+		if nt == t {
+			return // our own wake is next: keep running, no switch at all
+		}
+		k.running = nt
+		nt.hand <- struct{}{} // direct task-to-task switch
+		<-t.hand
+		if t.killed {
+			//fractos:panic-ok cooperative kill: caught by the task trampoline's recover
+			panic(killSignal{})
+		}
+		return
+	}
+	k.yield <- struct{}{} // nothing runnable here: return control to the run loop
 	<-t.hand
 	if t.killed {
 		//fractos:panic-ok cooperative kill: caught by the task trampoline's recover
@@ -444,49 +528,51 @@ func (t *Task) Yield() { t.Sleep(0) }
 // returns the final virtual time. Run must be called from the
 // goroutine that created the kernel.
 func (k *Kernel) Run() Time {
-	return k.run(-1)
+	return k.loop(0, modeAll)
 }
 
 // RunUntil executes events with timestamps <= deadline.
 func (k *Kernel) RunUntil(deadline Time) Time {
-	return k.run(deadline)
+	return k.loop(deadline, modeDeadline)
+}
+
+// runWindow executes events with timestamps strictly below limit and
+// returns. Unlike RunUntil it never advances the clock to the bound:
+// the clock stays at the last processed event, so a later window (or
+// a cross-shard delivery between windows) continues seamlessly. Used
+// by the Engine's conservative-lookahead loop.
+func (k *Kernel) runWindow(limit Time) {
+	k.loop(limit, modeWindow)
 }
 
 //fractos:hotpath
-func (k *Kernel) run(deadline Time) Time {
-	var processed uint64
-	defer func() { totalEvents.Add(processed) }() // fractos:alloc-ok one closure per Run call, not per event
+func (k *Kernel) loop(bound Time, mode int8) Time {
+	defer k.flushProcessed()
 	for (k.runq.n > 0 || k.heap.len() > 0) && !k.stopped {
 		// Choose the next event in global (at, seq) order. Run-queue
 		// entries all carry the current timestamp and were sequenced
 		// after every same-instant heap entry, so the heap goes first
 		// only while its minimum is at the current instant.
 		var e *event
-		if k.runq.n > 0 {
-			if k.heap.len() > 0 && k.heap.es[0].at == k.now {
-				e = k.heap.es[0]
-				if deadline >= 0 && e.at > deadline {
-					k.now = deadline
-					return k.now
-				}
-				k.heap.pop()
-			} else {
-				e = k.runq.front()
-				if deadline >= 0 && e.at > deadline {
-					k.now = deadline
-					return k.now
-				}
-				k.runq.popFront()
-			}
-		} else {
+		fromHeap := k.runq.n == 0 || (k.heap.len() > 0 && k.heap.es[0].at == k.now)
+		if fromHeap {
 			e = k.heap.es[0]
-			if deadline >= 0 && e.at > deadline {
-				k.now = deadline
-				return k.now
-			}
-			k.heap.pop()
+		} else {
+			e = k.runq.front()
 		}
-		processed++
+		if mode == modeDeadline && e.at > bound {
+			k.now = bound
+			return k.now
+		}
+		if mode == modeWindow && e.at >= bound {
+			return k.now
+		}
+		if fromHeap {
+			k.heap.pop()
+		} else {
+			k.runq.popFront()
+		}
+		k.processed++
 		if e.at > k.now {
 			k.pace(e.at)
 			k.now = e.at
@@ -503,7 +589,7 @@ func (k *Kernel) run(deadline Time) Time {
 			}
 			k.running = t
 			t.hand <- struct{}{}
-			<-t.hand
+			<-k.yield
 			k.running = nil
 			if k.panicMsg != "" {
 				msg := k.panicMsg
@@ -523,6 +609,24 @@ func (k *Kernel) run(deadline Time) Time {
 	return k.now
 }
 
+// flushProcessed publishes the batched event count to the global
+// counter when a run loop exits.
+func (k *Kernel) flushProcessed() {
+	totalEvents.Add(k.processed)
+	k.processed = 0
+}
+
+// nextAt reports the timestamp of the kernel's earliest pending event.
+func (k *Kernel) nextAt() (Time, bool) {
+	if k.runq.n > 0 {
+		return k.now, true
+	}
+	if k.heap.len() > 0 {
+		return k.heap.es[0].at, true
+	}
+	return 0, false
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -533,6 +637,13 @@ func (k *Kernel) Live() int { return len(k.tasks) }
 // called from kernel context (after Run returns). The kernel must not
 // be used afterwards.
 func (k *Kernel) Shutdown() {
+	// Stopping first disables park's direct-switch fast path, so every
+	// unwinding task returns control here rather than resuming stale
+	// run-queue work.
+	k.stopped = true
+	if len(k.tasks) == 0 {
+		return // nothing to unwind (and no id-slice/sort allocation)
+	}
 	// Collect ids first: unwinding mutates k.tasks. Deterministic
 	// order (ids are spawn-ordered).
 	ids := make([]uint64, 0, len(k.tasks))
@@ -547,7 +658,6 @@ func (k *Kernel) Shutdown() {
 		}
 		t.killed = true
 		t.hand <- struct{}{}
-		<-t.hand
+		<-k.yield
 	}
-	k.stopped = true
 }

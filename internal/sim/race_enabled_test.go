@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in;
+// allocation-count assertions skip under -race (instrumentation
+// allocates on its own).
+const raceEnabled = true
