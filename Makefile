@@ -53,7 +53,7 @@ bench:
 # the machine-readable report tracked across PRs; see
 # docs/PERFORMANCE.md for the methodology and how to compare runs.
 # Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR8.json
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
 bench-json:
 	$(GO) run ./cmd/fractos-bench -json > $(BENCH_OUT)

@@ -14,7 +14,10 @@ package main
 import (
 	"testing"
 
+	"fractos/internal/cap"
+	"fractos/internal/core"
 	"fractos/internal/exp"
+	"fractos/internal/proc"
 	"fractos/internal/sim"
 	"fractos/internal/wire"
 )
@@ -22,6 +25,10 @@ import (
 // marshalSink keeps the allocation-gate encode results live so the
 // compiler cannot elide the calls under test.
 var marshalSink []byte
+
+// validateSink keeps the validation-gate results live so the compiler
+// cannot elide the calls under test.
+var validateSink *cap.Node
 
 // TestAllocGateKernelDispatch pins the zero-alloc property the
 // allocfree analyzer enforces statically on the //fractos:hotpath
@@ -79,6 +86,61 @@ func TestAllocGateWireMarshal(t *testing.T) {
 		w.Release()
 	}); per > 0 {
 		t.Errorf("pooled MarshalTo path allocates %.1f objects/op, want 0", per)
+	}
+}
+
+// TestAllocGateCapValidate pins the capability engine's validation
+// contract: Controller.Validate — the epoch-fenced revtree probe on
+// every syscall's fast path — performs zero allocations, with the
+// owning Process's capability space soaked at a million live entries
+// so the measurement reflects slab-backed O(1) lookups, not a small
+// warm space. This is the CI gate behind the cap-scale acceptance
+// criterion (see docs/PERFORMANCE.md).
+func TestAllocGateCapValidate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const soak = 1_000_000
+	cl := core.NewCluster(core.ClusterConfig{Nodes: 2, Placement: core.CtrlShared, Seed: 31})
+	srv := proc.Attach(cl, 0, "srv", 1<<12)
+	ctrl := cl.Ctrls[0]
+	var ref cap.Ref
+	ready := false
+	cl.K.Spawn("setup", func(tk *sim.Task) {
+		mem, _, err := srv.AllocMemory(tk, 4096, cap.MemRights)
+		if err != nil {
+			return
+		}
+		e, ok := ctrl.EntryOf(srv.ID(), mem.ID())
+		if !ok {
+			return
+		}
+		ref = e.Ref
+		// Soak the space: a million live bystander capabilities, so the
+		// gated lookups run against paper-scale occupancy.
+		for i := 1; i < soak; i++ {
+			if _, ok := ctrl.GrantEntry(srv.ID(), e); !ok {
+				return
+			}
+		}
+		ready = true
+	})
+	cl.K.Run()
+	cl.K.Shutdown()
+	if !ready {
+		t.Fatal("setup did not complete")
+	}
+	if n, st := ctrl.Validate(ref, cap.Read); n == nil || st != wire.StatusOK {
+		t.Fatalf("validate fast path missed: status %v", st)
+	}
+	if per := testing.AllocsPerRun(1000, func() {
+		n, st := ctrl.Validate(ref, cap.Read)
+		if n == nil || st != wire.StatusOK {
+			t.Fatal("validate fast path missed inside gate")
+		}
+		validateSink = n
+	}); per > 0 {
+		t.Errorf("Controller.Validate allocates %.2f objects/op at %d live caps, want 0", per, soak)
 	}
 }
 

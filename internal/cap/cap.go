@@ -15,6 +15,17 @@
 // message; stale entries elsewhere are purged by an asynchronous
 // cleanup broadcast and are also rejected on use because every use
 // contacts the owner.
+//
+// Storage model: both the capability space and the revocation tree are
+// paged slabs addressed by {index, generation} handles. The low bits
+// of a cid (or ObjectID) select a slot, the high bits carry the slot's
+// generation at mint time. A handle is valid only while the slot's
+// current generation matches, so OS-initiated removals (revocation
+// cleanup, stale-epoch purges) can bump the generation and recycle the
+// slot: the old handle stays permanently invalid without the slot
+// leaking. Slabs are paged (arrays behind pointers) so entry and node
+// addresses are stable across growth — hot paths may hold pointers
+// into the slab without copying.
 package cap
 
 import "fmt"
@@ -23,7 +34,12 @@ import "fmt"
 // deployment (the operator pre-deploys Controllers).
 type ControllerID uint32
 
-// ObjectID names an object within its owning Controller.
+// ObjectID names an object within its owning Controller. It is a slab
+// handle: the low 32 bits are a slot selector (index+1, so 0 stays the
+// invalid ID), the high 32 bits are the slot generation at creation.
+// Fresh slots mint generation-0 IDs, which coincide exactly with a
+// sequential counter — so workloads that never remove objects see the
+// same ObjectID values a naive counter would produce.
 type ObjectID uint64
 
 // Epoch is a Controller reboot counter. It increases monotonically on
@@ -35,11 +51,26 @@ type Epoch uint32
 type ProcID uint64
 
 // CapID is a Process-local capability index ("cid"). 0 is never a
-// valid cid.
+// valid cid. Like ObjectID it is a slab handle: the low capIdxBits
+// bits select a slot (index+1), the high capGenBits bits carry the
+// slot generation. Generation-0 cids equal index+1, matching the
+// sequential cids the Process observed before slots ever recycled.
 type CapID uint32
 
 // NilCap is the invalid capability index.
 const NilCap CapID = 0
+
+// cid handle layout: 24 index bits (16M live caps per space), 8
+// generation bits. A slot whose generation saturates is retired
+// rather than wrapped, so a purged cid can never alias a later entry.
+const (
+	capIdxBits = 24
+	capIdxMask = 1<<capIdxBits - 1
+	capMaxGen  = 1<<(32-capIdxBits) - 1
+)
+
+// objGenShift splits an ObjectID into {generation, index+1}.
+const objGenShift = 32
 
 // Kind discriminates the two FractOS object types.
 type Kind uint8
@@ -146,68 +177,206 @@ type Entry struct {
 	// Controller revokes the child so the delegator observes the
 	// failure (§3.6's failure-translation model).
 	Leased bool
+	// Expire, when non-zero, is the virtual-time deadline after which
+	// the lease GC treats a Leased entry as abandoned and fires the
+	// §3.6 failure-translation path for it. Stamped by the Controller
+	// at install time from its lease-TTL configuration.
+	Expire int64
 }
 
-// Space is a Process's capability space: a table of entries indexed by
-// cid. Slots are reused after Drop to keep spaces compact.
+// spacePageBits sizes Space slab pages: 512 entries per page keeps
+// page allocations around 32KB while bounding the page directory to
+// index/512 pointers.
+const spacePageBits = 9
+
+type spacePage [1 << spacePageBits]capSlot
+
+// capSlot is one slab slot of a Space: the entry, the slot's current
+// generation, and whether it is live. gen persists across reuse so a
+// recycled slot mints a distinguishable cid after an OS-side purge.
+type capSlot struct {
+	e    Entry
+	gen  uint32
+	live bool
+}
+
+// Space is a Process's capability space: a paged slab of entries
+// addressed by {index, generation} cids. Slots dropped by the Process
+// are reused under the same generation (the Process surrendered the
+// cid, so handing the identical cid back is safe and keeps spaces
+// compact); slots purged by the OS are reused under a bumped
+// generation, so the purged cid stays permanently invalid.
 type Space struct {
-	entries map[CapID]Entry
-	next    CapID
-	free    []CapID
+	pages []*spacePage
+	free  []uint32 // reusable slot indices, LIFO
+	next  uint32   // high-water slot count
+	live  int
 }
 
 // NewSpace returns an empty capability space.
 func NewSpace() *Space {
-	return &Space{entries: make(map[CapID]Entry), next: 1}
+	return &Space{}
 }
 
-// Install adds an entry and returns its new cid.
+// slot returns the slot for a 0-based index, which must be < s.next.
+func (s *Space) slot(idx uint32) *capSlot {
+	return &s.pages[idx>>spacePageBits][idx&(1<<spacePageBits-1)]
+}
+
+// Install adds an entry and returns its new cid, or NilCap if the
+// space has exhausted its 16M-slot index range.
 func (s *Space) Install(e Entry) CapID {
-	var id CapID
+	var idx uint32
 	if n := len(s.free); n > 0 {
-		id = s.free[n-1]
+		idx = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		id = s.next
+		if s.next > capIdxMask-1 {
+			return NilCap
+		}
+		idx = s.next
 		s.next++
+		if int(idx>>spacePageBits) == len(s.pages) {
+			s.pages = append(s.pages, new(spacePage))
+		}
 	}
-	s.entries[id] = e
-	return id
+	sl := s.slot(idx)
+	sl.e = e
+	sl.live = true
+	s.live++
+	return CapID(sl.gen<<capIdxBits | (idx + 1))
+}
+
+// lookupSlot resolves a cid to its slot, or nil if the cid is invalid,
+// out of range, freed, or from a superseded generation.
+//
+//fractos:hotpath
+func (s *Space) lookupSlot(id CapID) *capSlot {
+	u := uint32(id) & capIdxMask
+	if u == 0 || u > s.next {
+		return nil
+	}
+	sl := s.slot(u - 1)
+	if !sl.live || sl.gen != uint32(id)>>capIdxBits {
+		return nil
+	}
+	return sl
 }
 
 // Lookup returns the entry for cid.
 func (s *Space) Lookup(id CapID) (Entry, bool) {
-	e, ok := s.entries[id]
-	return e, ok
+	sl := s.lookupSlot(id)
+	if sl == nil {
+		return Entry{}, false
+	}
+	return sl.e, true
+}
+
+// Peek returns a pointer to the live entry for cid, or nil. The
+// pointer is stable across Install (the slab is paged, never
+// reallocated) but is invalidated by Drop/PurgeRefs of the same cid;
+// hot paths must not retain it across a yield.
+//
+//fractos:hotpath
+func (s *Space) Peek(id CapID) *Entry {
+	sl := s.lookupSlot(id)
+	if sl == nil {
+		return nil
+	}
+	return &sl.e
 }
 
 // Update replaces the entry for an existing cid.
 func (s *Space) Update(id CapID, e Entry) bool {
-	if _, ok := s.entries[id]; !ok {
+	sl := s.lookupSlot(id)
+	if sl == nil {
 		return false
 	}
-	s.entries[id] = e
+	sl.e = e
 	return true
 }
 
 // Drop removes cid from the space, freeing the slot for reuse.
+//
+// The generation is deliberately NOT bumped: the Process itself
+// surrendered the cid, so reissuing the identical cid for the next
+// Install is safe (POSIX fd semantics) and keeps generation bits in
+// reserve for OS-initiated purges.
 func (s *Space) Drop(id CapID) bool {
-	if _, ok := s.entries[id]; !ok {
+	sl := s.lookupSlot(id)
+	if sl == nil {
 		return false
 	}
-	delete(s.entries, id)
-	s.free = append(s.free, id)
+	sl.live = false
+	sl.e = Entry{}
+	s.live--
+	s.free = append(s.free, uint32(id)&capIdxMask-1)
+	return true
+}
+
+// Purge removes a single cid the way PurgeRefs removes matching
+// entries: the removal is OS-initiated (the Process may still hold the
+// cid), so the slot recycles under a bumped generation — or retires if
+// the generation counter saturates — and the purged cid stays
+// permanently invalid. Used by the lease GC, which knows the exact cid
+// it is expiring and must not pay a full-space scan.
+func (s *Space) Purge(id CapID) bool {
+	sl := s.lookupSlot(id)
+	if sl == nil {
+		return false
+	}
+	sl.live = false
+	sl.e = Entry{}
+	s.live--
+	if sl.gen < capMaxGen {
+		sl.gen++
+		s.free = append(s.free, uint32(id)&capIdxMask-1)
+	}
 	return true
 }
 
 // Len reports the number of live entries.
-func (s *Space) Len() int { return len(s.entries) }
+func (s *Space) Len() int { return s.live }
 
-// ForEach visits every live entry. Iteration order is unspecified; use
-// it only for operations that are order-insensitive (e.g. cleanup).
+// Slots reports the slab's high-water slot count — the number of slot
+// positions ever allocated, reused or not. Soak tests use it to prove
+// churn reuses slots instead of growing the slab.
+func (s *Space) Slots() int { return int(s.next) }
+
+// ForEach visits every live entry in slot order. Slot order is
+// deterministic but not install order once slots recycle; use it only
+// for operations that are order-insensitive (e.g. cleanup).
 func (s *Space) ForEach(fn func(CapID, Entry)) {
-	for id, e := range s.entries {
-		fn(id, e)
+	for idx := uint32(0); idx < s.next; idx++ {
+		sl := s.slot(idx)
+		if sl.live {
+			fn(CapID(sl.gen<<capIdxBits|(idx+1)), sl.e)
+		}
+	}
+}
+
+// Sweep visits up to max slot positions starting at *cursor, calling
+// fn for each live entry, and advances the cursor (wrapping at the
+// high-water mark). It lets a background task — the lease GC — scan a
+// huge space incrementally with bounded work per tick. fn receives a
+// slab pointer valid only for the duration of the call.
+func (s *Space) Sweep(cursor *uint32, max int, fn func(CapID, *Entry)) {
+	if s.next == 0 {
+		return
+	}
+	if *cursor >= s.next {
+		*cursor = 0
+	}
+	for i := 0; i < max; i++ {
+		idx := *cursor
+		sl := s.slot(idx)
+		if sl.live {
+			fn(CapID(sl.gen<<capIdxBits|(idx+1)), &sl.e)
+		}
+		*cursor++
+		if *cursor >= s.next {
+			*cursor = 0
+		}
 	}
 }
 
@@ -215,19 +384,27 @@ func (s *Space) ForEach(fn func(CapID, Entry)) {
 // removed cids. Used by the revocation cleanup broadcast and the
 // stale-epoch purge.
 //
-// Unlike Drop, purged slots are NOT recycled: the removal is initiated
-// by the OS, not the Process, so the Process may still hold the cid —
-// recycling it would silently alias a stale handle onto an unrelated
-// new capability. A purged cid stays permanently invalid instead.
+// Unlike Drop, purged slots recycle under a bumped generation: the
+// removal is initiated by the OS, not the Process, so the Process may
+// still hold the cid — the bump keeps that stale handle permanently
+// invalid while letting the slot itself be reused. A slot whose
+// generation counter saturates is retired instead of wrapped, so
+// aliasing is impossible even after 255 purges of one slot.
 func (s *Space) PurgeRefs(pred func(Ref) bool) []CapID {
 	var dropped []CapID
-	for id, e := range s.entries {
-		if pred(e.Ref) {
-			dropped = append(dropped, id)
+	for idx := uint32(0); idx < s.next; idx++ {
+		sl := s.slot(idx)
+		if !sl.live || !pred(sl.e.Ref) {
+			continue
 		}
-	}
-	for _, id := range dropped {
-		delete(s.entries, id)
+		dropped = append(dropped, CapID(sl.gen<<capIdxBits|(idx+1)))
+		sl.live = false
+		sl.e = Entry{}
+		s.live--
+		if sl.gen < capMaxGen {
+			sl.gen++
+			s.free = append(s.free, idx)
+		}
 	}
 	return dropped
 }

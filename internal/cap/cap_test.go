@@ -206,8 +206,8 @@ func TestTreeRemoveAfterRevoke(t *testing.T) {
 	if tr.Len() != 1 {
 		t.Errorf("Len = %d, want 1 (root only)", tr.Len())
 	}
-	if got := len(root.Children); got != 0 {
-		t.Errorf("root still has %d children", got)
+	if root.HasChildren() {
+		t.Error("root still has children after removal")
 	}
 	// Removing a live node must be refused.
 	tr.Remove(root.ID)

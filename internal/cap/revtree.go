@@ -12,18 +12,37 @@ package cap
 // Controller, so revocation is immediate and requires exactly one
 // message from the revoker.
 //
+// Storage: nodes live in a paged slab addressed by {index, generation}
+// ObjectIDs (see the package comment). Child sets are intrusive
+// first/last-child + prev/next-sibling links — no per-node []ObjectID
+// slice — so Derive, Remove, and the sibling walk in Revoke are all
+// allocation-free and O(1) per edge. A separate intrusive sequence
+// list preserves creation order for ForEach. Node pointers returned by
+// the Tree are stable across growth (pages never move) but are
+// invalidated by Remove of that node.
+//
 // Tree is a passive data structure; the Controller serializes access.
 type Tree struct {
-	nodes  map[ObjectID]*Node
-	nextID ObjectID
+	pages   []*treePage
+	free    []uint32 // reusable slot indices, LIFO
+	next    uint32   // high-water slot count
+	len     int      // registered nodes (incl. revoked awaiting cleanup)
+	live    int      // non-revoked nodes
+	seqHead ObjectID // creation-order list
+	seqTail ObjectID
 }
 
-// Node is one registered object.
+// treePageBits sizes Tree slab pages: 256 nodes per page.
+const treePageBits = 8
+
+type treePage [1 << treePageBits]Node
+
+// Node is one registered object. The zero-valued links use ObjectID 0
+// (never a valid ID) as nil.
 type Node struct {
-	ID       ObjectID
-	Parent   ObjectID // 0 = root
-	Children []ObjectID
-	Revoked  bool
+	ID      ObjectID
+	Parent  ObjectID // 0 = root
+	Revoked bool
 
 	// Payload is the Controller's object record (Memory or Request
 	// metadata). The tree does not interpret it.
@@ -43,7 +62,21 @@ type Node struct {
 	// Watchers are monitor_receive registrations: (proc, callback)
 	// pairs to notify when this object is invalidated.
 	Watchers []Watcher
+
+	// Intrusive child list (creation order) and sibling links.
+	firstChild, lastChild ObjectID
+	prevSib, nextSib      ObjectID
+	// Intrusive creation-order sequence list (ForEach order).
+	prevSeq, nextSeq ObjectID
+
+	// Slab bookkeeping: gen persists across slot reuse; inUse marks
+	// the slot allocated.
+	gen   uint32
+	inUse bool
 }
+
+// HasChildren reports whether any derived object still hangs off n.
+func (n *Node) HasChildren() bool { return n.firstChild != 0 }
 
 // Watcher is a monitor_receive registration. Ctrl is the Controller
 // managing the watching Process, so the owner can route the callback.
@@ -55,7 +88,28 @@ type Watcher struct {
 
 // NewTree returns an empty object registry.
 func NewTree() *Tree {
-	return &Tree{nodes: make(map[ObjectID]*Node)}
+	return &Tree{}
+}
+
+// at returns the node in slot idx (0-based), which must be < t.next.
+func (t *Tree) at(idx uint32) *Node {
+	return &t.pages[idx>>treePageBits][idx&(1<<treePageBits-1)]
+}
+
+// probe resolves an ObjectID to its slab node, or nil if the ID is
+// invalid, freed, or from a superseded generation.
+//
+//fractos:hotpath
+func (t *Tree) probe(id ObjectID) *Node {
+	u := uint32(id)
+	if u == 0 || u > t.next {
+		return nil
+	}
+	n := t.at(u - 1)
+	if !n.inUse || n.gen != uint32(id>>objGenShift) {
+		return nil
+	}
+	return n
 }
 
 // Create registers a new root object and returns its node.
@@ -66,26 +120,62 @@ func (t *Tree) Create(payload interface{}) *Node {
 // Derive registers a new object as a child of parent. It returns nil
 // if the parent does not exist or is revoked.
 func (t *Tree) Derive(parent ObjectID, payload interface{}) *Node {
-	p, ok := t.nodes[parent]
-	if !ok || p.Revoked {
+	p := t.probe(parent)
+	if p == nil || p.Revoked {
 		return nil
 	}
 	n := t.insert(parent, payload)
-	p.Children = append(p.Children, n.ID)
+	// Append at the tail of the child list: revocation pre-order then
+	// visits children in creation order, matching the semantics the
+	// old []ObjectID append produced.
+	n.prevSib = p.lastChild
+	if p.lastChild != 0 {
+		t.probe(p.lastChild).nextSib = n.ID
+	} else {
+		p.firstChild = n.ID
+	}
+	p.lastChild = n.ID
 	return n
 }
 
 func (t *Tree) insert(parent ObjectID, payload interface{}) *Node {
-	t.nextID++
-	n := &Node{ID: t.nextID, Parent: parent, Payload: payload}
-	t.nodes[n.ID] = n
+	var idx uint32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		idx = t.next
+		t.next++
+		if int(idx>>treePageBits) == len(t.pages) {
+			t.pages = append(t.pages, new(treePage))
+		}
+	}
+	n := t.at(idx)
+	gen := n.gen
+	*n = Node{
+		ID:     ObjectID(gen)<<objGenShift | ObjectID(idx+1),
+		Parent: parent,
+		gen:    gen,
+		inUse:  true,
+	}
+	n.Payload = payload
+	// Link at the tail of the creation-order list.
+	n.prevSeq = t.seqTail
+	if t.seqTail != 0 {
+		t.probe(t.seqTail).nextSeq = n.ID
+	} else {
+		t.seqHead = n.ID
+	}
+	t.seqTail = n.ID
+	t.len++
+	t.live++
 	return n
 }
 
 // Get returns the node for id if it exists and is not revoked.
 func (t *Tree) Get(id ObjectID) (*Node, bool) {
-	n, ok := t.nodes[id]
-	if !ok || n.Revoked {
+	n := t.probe(id)
+	if n == nil || n.Revoked {
 		return nil, false
 	}
 	return n, true
@@ -93,80 +183,133 @@ func (t *Tree) Get(id ObjectID) (*Node, bool) {
 
 // GetAny returns the node even if revoked (for cleanup bookkeeping).
 func (t *Tree) GetAny(id ObjectID) (*Node, bool) {
-	n, ok := t.nodes[id]
-	return n, ok
+	n := t.probe(id)
+	return n, n != nil
 }
 
-// Revoke invalidates the object and, recursively, all its descendant
-// objects. It returns the nodes invalidated by this call in
-// deterministic (pre-order, creation-order) sequence, so the
-// Controller can fire monitor callbacks and schedule the cleanup
-// broadcast. Revoking an unknown or already revoked object returns
-// nil.
+// Probe returns the node for id — revoked or not — or nil. It is the
+// allocation-free hot-path variant of Get/GetAny for validation: the
+// caller folds the Revoked check into its own fence.
+//
+//fractos:hotpath
+func (t *Tree) Probe(id ObjectID) *Node {
+	return t.probe(id)
+}
+
+// Revoke invalidates the object and all its descendant objects. It
+// returns the nodes invalidated by this call in deterministic
+// (pre-order, creation-order) sequence, so the Controller can fire
+// monitor callbacks and schedule the cleanup broadcast. Revoking an
+// unknown or already revoked object returns nil.
+//
+// The walk is iterative — threaded through the intrusive child and
+// sibling links with O(1) auxiliary space — so revoking a delegation
+// chain millions of levels deep cannot grow the goroutine stack
+// (the recursive walk it replaces overflowed on deep chains).
 func (t *Tree) Revoke(id ObjectID) []*Node {
-	n, ok := t.nodes[id]
-	if !ok || n.Revoked {
+	root := t.probe(id)
+	if root == nil || root.Revoked {
 		return nil
 	}
 	var out []*Node
-	var walk func(*Node)
-	walk = func(n *Node) {
-		if n.Revoked {
-			return
-		}
+	for n := root; n != nil; {
 		n.Revoked = true
+		t.live--
 		out = append(out, n)
-		for _, c := range n.Children {
-			if cn, ok := t.nodes[c]; ok {
-				walk(cn)
-			}
-		}
+		n = t.nextPreorder(n, root)
 	}
-	walk(n)
 	return out
+}
+
+// nextPreorder advances a revocation walk one step: descend to the
+// first not-yet-revoked child, else climb toward root taking the next
+// unrevoked sibling at each level. Nodes already revoked before this
+// Revoke call head fully-revoked subtrees (Revoke always takes a whole
+// subtree down), so skipping them skips exactly the pre-revoked
+// subtrees the old recursive walk skipped; nodes revoked *during* the
+// walk are behind the cursor and never revisited because the walk only
+// moves to first-child and next-sibling links.
+func (t *Tree) nextPreorder(n, root *Node) *Node {
+	for c := n.firstChild; c != 0; {
+		cn := t.probe(c)
+		if !cn.Revoked {
+			return cn
+		}
+		c = cn.nextSib
+	}
+	for n != root {
+		for s := n.nextSib; s != 0; {
+			sn := t.probe(s)
+			if !sn.Revoked {
+				return sn
+			}
+			s = sn.nextSib
+		}
+		n = t.probe(n.Parent)
+	}
+	return nil
 }
 
 // Remove erases a revoked node once the cleanup pass has confirmed no
 // capabilities reference it. Only revoked leaf bookkeeping is erased;
 // children are assumed removed first (Revoke returns pre-order, so
-// removing in reverse order is safe).
+// removing in reverse order is safe). The slot recycles under a
+// bumped generation, so the removed ObjectID — and any stale Ref
+// embedding it — stays permanently invalid.
 func (t *Tree) Remove(id ObjectID) {
-	n, ok := t.nodes[id]
-	if !ok || !n.Revoked {
+	n := t.probe(id)
+	if n == nil || !n.Revoked {
 		return
 	}
-	if p, ok := t.nodes[n.Parent]; ok {
-		for i, c := range p.Children {
-			if c == id {
-				p.Children = append(p.Children[:i], p.Children[i+1:]...)
-				break
-			}
+	// O(1) unlink from the parent's child list.
+	if p := t.probe(n.Parent); p != nil {
+		if n.prevSib != 0 {
+			t.probe(n.prevSib).nextSib = n.nextSib
+		} else if p.firstChild == id {
+			p.firstChild = n.nextSib
+		}
+		if n.nextSib != 0 {
+			t.probe(n.nextSib).prevSib = n.prevSib
+		} else if p.lastChild == id {
+			p.lastChild = n.prevSib
 		}
 	}
-	delete(t.nodes, id)
+	// O(1) unlink from the creation-order list.
+	if n.prevSeq != 0 {
+		t.probe(n.prevSeq).nextSeq = n.nextSeq
+	} else if t.seqHead == id {
+		t.seqHead = n.nextSeq
+	}
+	if n.nextSeq != 0 {
+		t.probe(n.nextSeq).prevSeq = n.prevSeq
+	} else if t.seqTail == id {
+		t.seqTail = n.prevSeq
+	}
+	idx := uint32(id) - 1
+	gen := n.gen + 1
+	*n = Node{gen: gen}
+	t.len--
+	t.free = append(t.free, idx)
 }
 
 // Len reports the number of registered objects (including revoked ones
-// awaiting cleanup).
-func (t *Tree) Len() int { return len(t.nodes) }
+// awaiting cleanup). Maintained incrementally; O(1).
+func (t *Tree) Len() int { return t.len }
 
-// LiveLen reports the number of non-revoked objects.
-func (t *Tree) LiveLen() int {
-	n := 0
-	for _, nd := range t.nodes {
-		if !nd.Revoked {
-			n++
-		}
-	}
-	return n
-}
+// LiveLen reports the number of non-revoked objects. Maintained
+// incrementally; O(1).
+func (t *Tree) LiveLen() int { return t.live }
 
-// ForEach visits every node (live and revoked) in creation order.
+// Slots reports the slab's high-water slot count (see Space.Slots).
+func (t *Tree) Slots() int { return int(t.next) }
+
+// ForEach visits every node (live and revoked) in creation order. fn
+// may remove the node it is handed, but must not remove other nodes.
 func (t *Tree) ForEach(fn func(*Node)) {
-	for id := ObjectID(1); id <= t.nextID; id++ {
-		if n, ok := t.nodes[id]; ok {
-			fn(n)
-		}
+	for id := t.seqHead; id != 0; {
+		n := t.probe(id)
+		id = n.nextSeq
+		fn(n)
 	}
 }
 
@@ -176,8 +319,8 @@ func (t *Tree) Ancestor(anc, id ObjectID) bool {
 		if id == anc {
 			return true
 		}
-		n, ok := t.nodes[id]
-		if !ok {
+		n := t.probe(id)
+		if n == nil {
 			return false
 		}
 		id = n.Parent

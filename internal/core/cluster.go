@@ -133,7 +133,8 @@ func (cl *Cluster) NewProcID() cap.ProcID {
 // the trusted bootstrap path (the paper's key/value bootstrap
 // service): fromCtrl must manage fromPid, toCtrl must manage toPid.
 //
-// The copy deliberately clears the Monitored and Leased flags: they
+// The copy deliberately clears the Monitored and Leased flags (and the
+// lease deadline that rides with Leased): they
 // describe the *delegation edge* a capability travelled over
 // (monitor_delegate callbacks fire when a monitored edge is revoked;
 // leases die with their revtree node, §3.6), not the object itself.
@@ -152,6 +153,7 @@ func Grant(fromCtrl *Controller, fromPid cap.ProcID, fromCid cap.CapID,
 	}
 	e.Monitored = false
 	e.Leased = false
+	e.Expire = 0
 	cid, ok := toCtrl.GrantEntry(toPid, e)
 	if !ok {
 		return cap.NilCap, fmt.Errorf("core: grant target proc %d unavailable", toPid)

@@ -113,6 +113,22 @@ type Config struct {
 	// After the last timeout expires the call resolves with
 	// StatusAborted. 0 means DefaultRPCRetries when RPCTimeout > 0.
 	RPCRetries int
+	// LeaseTTL, when > 0, bounds the lifetime of Leased capability
+	// entries (monitor_delegatee children, §3.6): an entry not dropped
+	// within LeaseTTL of its installation is treated as abandoned by
+	// the background lease GC, which revokes the delegatee child — so
+	// the delegator observes the loss exactly as it would a holder
+	// failure, without waiting for the failure detector. 0 (the
+	// default) disables the lease GC entirely: no timer events, no
+	// trace difference against a deployment without it.
+	LeaseTTL sim.Time
+	// LeaseGCInterval is the lease-GC sweep period. 0 means
+	// DefaultLeaseGCInterval when LeaseTTL > 0.
+	LeaseGCInterval sim.Time
+	// LeaseGCBatch bounds capability-space slots examined per GC tick,
+	// so a sweep over a million-entry space never stalls the
+	// Controller for a full scan. 0 means DefaultLeaseGCBatch.
+	LeaseGCBatch int
 }
 
 // Defaults for Config's zero fields.
@@ -126,6 +142,11 @@ const (
 	// while staying well above any legitimate reply latency.
 	DefaultRPCTimeout = 5 * sim.Time(time.Millisecond)
 	DefaultRPCRetries = 6
+	// DefaultLeaseGCInterval/Batch: sweep every 1 ms virtual in slices
+	// of 4096 slots — an expired lease is noticed within roughly
+	// TTL + interval × ⌈slots/batch⌉ while each tick stays bounded.
+	DefaultLeaseGCInterval = sim.Time(time.Millisecond)
+	DefaultLeaseGCBatch    = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -143,6 +164,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RPCTimeout > 0 && c.RPCRetries == 0 {
 		c.RPCRetries = DefaultRPCRetries
+	}
+	if c.LeaseTTL > 0 && c.LeaseGCInterval == 0 {
+		c.LeaseGCInterval = DefaultLeaseGCInterval
+	}
+	if c.LeaseGCBatch == 0 {
+		c.LeaseGCBatch = DefaultLeaseGCBatch
 	}
 	return c
 }

@@ -47,6 +47,18 @@ type Controller struct {
 	bounceFree []int          // free bounce-chunk offsets in our arena
 	bounceSem  *sim.Semaphore // admits BouncePairs concurrent copies
 
+	// Revocation-cleanup batch: refs and revoked stubs accumulated by
+	// processRevocations at one virtual instant, flushed as a single
+	// coalesced CtrlCleanup broadcast per peer (see flushCleanup).
+	cleanupRefs  []cap.Ref
+	cleanupStubs []*cap.Node
+	cleanupArmed bool
+
+	// Lease GC (§3.6 failure translation for abandoned leases).
+	leaseArmed bool
+	leaseClean int          // lease-free slots swept since a lease was last seen
+	leasePids  []cap.ProcID // scratch for sorted tick iteration
+
 	metrics Metrics
 	down    bool
 }
@@ -91,6 +103,10 @@ type procState struct {
 	deliverSeq  uint64
 	outstanding map[uint64]struct{}
 	queue       []*wire.Deliver
+
+	// gcCursor is the lease GC's resume position in this space, so
+	// each tick sweeps a bounded slice instead of the whole slab.
+	gcCursor uint32
 }
 
 // New creates a Controller with the given identity and configuration,
@@ -187,13 +203,28 @@ func (c *Controller) GrantEntry(pid cap.ProcID, e cap.Entry) (cap.CapID, bool) {
 }
 
 // install adds an entry to a Process's capability space, enforcing the
-// per-Process quota (§4).
+// per-Process quota (§4). Leased entries are stamped with their lease
+// deadline when the lease GC is configured, and installing one arms
+// the GC timer if it is idle.
 func (c *Controller) install(ps *procState, e cap.Entry) (cap.CapID, wire.Status) {
 	if q := c.cfg.CapQuota; q > 0 && ps.space.Len() >= q {
 		c.metrics.QuotaRejected++
 		return cap.NilCap, wire.StatusQuota
 	}
-	return ps.space.Install(e), wire.StatusOK
+	if e.Leased && c.cfg.LeaseTTL > 0 {
+		e.Expire = int64(c.k.Now()) + int64(c.cfg.LeaseTTL)
+	}
+	cid := ps.space.Install(e)
+	if cid == cap.NilCap {
+		// The 16M-slot cid index range is exhausted: report it as the
+		// quota it effectively is.
+		c.metrics.QuotaRejected++
+		return cap.NilCap, wire.StatusQuota
+	}
+	if e.Expire != 0 {
+		c.noteLeaseInstalled()
+	}
+	return cid, wire.StatusOK
 }
 
 // ObjectCount reports live objects owned by this Controller (for
@@ -605,27 +636,54 @@ func (c *Controller) ref(obj cap.ObjectID) cap.Ref {
 	return cap.Ref{Ctrl: c.id, Obj: obj, Epoch: c.epoch}
 }
 
+// Validate is the owner-side capability check on the syscall hot
+// path: one epoch-fenced O(1) slab probe that answers "is this Ref a
+// live object I own, conveying these rights" without allocating. The
+// fast path is a single fused condition — slab probe, revocation flag,
+// ownership, epoch fence — and, for Memory objects when need != 0, the
+// rights mask; every failing case drops to validateMiss for precise
+// status classification off the hot path. Every use of a capability
+// funnels through here (§3.5: each use contacts the owner), so this
+// is the operation the cap-scale experiment measures.
+//
+//fractos:hotpath
+func (c *Controller) Validate(ref cap.Ref, need cap.Rights) (*cap.Node, wire.Status) {
+	n := c.tree.Probe(ref.Obj)
+	if n != nil && !n.Revoked && ref.Ctrl == c.id && ref.Epoch == c.epoch {
+		if need != 0 {
+			if mo, ok := n.Payload.(*memObject); ok && !mo.rights.Has(need) {
+				return nil, wire.StatusPerm
+			}
+		}
+		return n, wire.StatusOK
+	}
+	return nil, c.validateMiss(ref)
+}
+
+// validateMiss classifies a failed validation: wrong owner, stale
+// epoch, or revoked/unknown object (unknown IDs report StatusRevoked
+// too — a Ref that never existed here is indistinguishable from one
+// whose stub was already erased, and must not leak more).
+func (c *Controller) validateMiss(ref cap.Ref) wire.Status {
+	if ref.Ctrl != c.id {
+		return wire.StatusUnknownObj
+	}
+	if ref.Epoch != c.epoch {
+		return wire.StatusStale
+	}
+	return wire.StatusRevoked
+}
+
 // resolveOwned returns the live node for a Ref owned by this
 // Controller, checking epoch and revocation.
 func (c *Controller) resolveOwned(ref cap.Ref) (*cap.Node, wire.Status) {
-	if ref.Ctrl != c.id {
-		return nil, wire.StatusUnknownObj
-	}
-	if ref.Epoch != c.epoch {
-		return nil, wire.StatusStale
-	}
-	n, ok := c.tree.Get(ref.Obj)
-	if !ok {
-		if _, existed := c.tree.GetAny(ref.Obj); existed {
-			return nil, wire.StatusRevoked
-		}
-		return nil, wire.StatusRevoked
-	}
-	return n, wire.StatusOK
+	return c.Validate(ref, 0)
 }
 
 // resolveEntry fetches a live capability-space entry with required
 // rights and kind.
+//
+//fractos:hotpath
 func (c *Controller) resolveEntry(ps *procState, cid cap.CapID, kind cap.Kind, need cap.Rights) (cap.Entry, wire.Status) {
 	e, ok := ps.space.Lookup(cid)
 	if !ok {

@@ -133,16 +133,13 @@ func (c *Controller) runCopy(t *sim.Task, ps *procState, token uint64, src, dst 
 // owner, which is what makes revocation immediate, §3.5).
 func (c *Controller) locate(t *sim.Task, ref cap.Ref, need cap.Rights) (memLoc, wire.Status) {
 	if ref.Ctrl == c.id {
-		n, st := c.resolveOwned(ref)
+		n, st := c.Validate(ref, need)
 		if st != wire.StatusOK {
 			return memLoc{}, st
 		}
 		mo, ok := n.Payload.(*memObject)
 		if !ok {
 			return memLoc{}, wire.StatusKind
-		}
-		if !mo.rights.Has(need) {
-			return memLoc{}, wire.StatusPerm
 		}
 		return memLoc{ep: uint32(mo.ep), base: mo.base, size: mo.size}, wire.StatusOK
 	}

@@ -149,8 +149,8 @@ func TestFootprintBudget(t *testing.T) {
 		if f.PeerQueueBytes != 2*64<<20 {
 			t.Errorf("peer queues = %d, want 2×64MB (two peers)", f.PeerQueueBytes)
 		}
-		if f.CapSpaceBytes != 4*32 {
-			t.Errorf("cap space = %d, want 4 entries × 32B", f.CapSpaceBytes)
+		if f.CapSpaceBytes != 4*40 {
+			t.Errorf("cap space = %d, want 4 entries × 40B", f.CapSpaceBytes)
 		}
 		if f.ObjectBytes != 4*24 {
 			t.Errorf("objects = %d, want 4 × 24B", f.ObjectBytes)

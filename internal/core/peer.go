@@ -50,7 +50,7 @@ func (c *Controller) peerRevoke(from fabric.EndpointID, m *wire.CtrlRevoke) {
 // bytes physically live. Every use of a capability contacts the owner,
 // which is what makes revocation immediate (§3.5).
 func (c *Controller) peerValidate(from fabric.EndpointID, m *wire.CtrlValidate) {
-	n, st := c.resolveOwned(m.Ref)
+	n, st := c.Validate(m.Ref, m.Need)
 	if st != wire.StatusOK {
 		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: st})
 		return
@@ -58,10 +58,6 @@ func (c *Controller) peerValidate(from fabric.EndpointID, m *wire.CtrlValidate) 
 	mo, ok := n.Payload.(*memObject)
 	if !ok {
 		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusKind})
-		return
-	}
-	if !mo.rights.Has(m.Need) {
-		c.reply(from, m.Token, &wire.CtrlValInfo{Token: m.Token, Status: wire.StatusPerm})
 		return
 	}
 	c.reply(from, m.Token, &wire.CtrlValInfo{
@@ -150,11 +146,15 @@ func (c *Controller) revokeLocal(ref cap.Ref) wire.Status {
 	return wire.StatusOK
 }
 
-// processRevocations fires monitors, purges local entries, broadcasts
-// cleanup, and erases the revoked nodes.
+// processRevocations fires monitors and purges local entries
+// synchronously, then enqueues the revoked refs on the cleanup batch.
+// The actual broadcast is deferred to flushCleanup so that a burst of
+// revocations at one virtual instant — a Process failure cascading
+// through every lease and owned subtree, or the lease GC expiring a
+// sweep's worth of leases — coalesces into ONE CtrlCleanup message per
+// peer instead of a per-subtree revocation storm.
 func (c *Controller) processRevocations(revoked []*cap.Node) {
 	c.metrics.Revocations += int64(len(revoked))
-	c.metrics.CleanupsSent++
 	refs := make([]cap.Ref, 0, len(revoked))
 	for _, n := range revoked {
 		refs = append(refs, c.ref(n.ID))
@@ -186,14 +186,35 @@ func (c *Controller) processRevocations(revoked []*cap.Node) {
 		ps.space.PurgeRefs(func(r cap.Ref) bool { return dead[r] })
 	}
 
-	// Erase the revoked stubs only after every peer has confirmed it
-	// purged its references — until then the few-bytes stubs remain,
-	// exactly as §3.5 describes. Peers observed dead (epoch bump)
-	// resolve their outstanding calls as aborted, which also counts:
-	// their state is gone wholesale.
+	c.cleanupRefs = append(c.cleanupRefs, refs...)
+	c.cleanupStubs = append(c.cleanupStubs, revoked...)
+	if !c.cleanupArmed {
+		c.cleanupArmed = true
+		c.k.After(0, c.flushCleanup)
+	}
+}
+
+// flushCleanup drains the cleanup batch accumulated at the current
+// virtual instant: one coalesced CtrlCleanup per peer carrying every
+// ref revoked since the last flush. The revoked stubs are erased only
+// after every peer has confirmed it purged its references — until then
+// the few-bytes stubs remain, exactly as §3.5 describes. Peers
+// observed dead (epoch bump) resolve their outstanding calls as
+// aborted, which also counts: their state is gone wholesale.
+func (c *Controller) flushCleanup() {
+	c.cleanupArmed = false
+	refs, stubs := c.cleanupRefs, c.cleanupStubs
+	c.cleanupRefs, c.cleanupStubs = nil, nil
+	if c.down || len(stubs) == 0 {
+		// A crash between enqueue and flush loses the batch with the
+		// rest of the instance's state; the reboot's epoch announcement
+		// purges peers wholesale instead.
+		return
+	}
+	c.metrics.CleanupsSent++
 	removeStubs := func() {
-		for i := len(revoked) - 1; i >= 0; i-- {
-			c.tree.Remove(revoked[i].ID)
+		for i := len(stubs) - 1; i >= 0; i-- {
+			c.tree.Remove(stubs[i].ID)
 		}
 	}
 	remaining := len(c.peers)

@@ -324,7 +324,7 @@ func (c *Controller) handleMonitorDelegate(ps *procState, m *wire.MonitorDelegat
 		c.complete(ps, m.Token, st, cap.NilCap, 0)
 		return
 	}
-	if len(n.Children) > 0 {
+	if n.HasChildren() {
 		c.complete(ps, m.Token, wire.StatusBadArg, cap.NilCap, 0)
 		return
 	}

@@ -75,7 +75,8 @@ func Cases() []Case {
 		{"exp/figure8", benchFigure8},
 		{"exp/faceverify", benchFaceVerify},
 	}
-	return append(cs, scaleCases()...)
+	cs = append(cs, scaleCases()...)
+	return append(cs, capScaleCases()...)
 }
 
 // Find returns the case with the given name.

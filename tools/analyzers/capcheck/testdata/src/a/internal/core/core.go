@@ -94,3 +94,68 @@ func (c *Controller) notAHandler(ref Ref) Status {
 	_, st := c.resolveOwned(ref)
 	return st
 }
+
+// ---- slab cid-scheme cases ----
+
+// CapID mirrors cap.CapID: generation bits over a slot index, minted
+// only by Space.Install.
+type CapID uint32
+
+func (s *space) Install(e Entry) CapID { return CapID(1) } //fractos:capcheck-ok the real minting site lives in internal/cap; the replica needs one
+
+func (s *space) Peek(cid CapID) *Entry { return nil }
+
+type task struct{}
+
+func (t *task) Sleep(d int64) {}
+
+// handleMint forges a cid from a raw index, bypassing the generation
+// fence.
+func (c *Controller) handleMint(ps *procState, m *msg) {
+	if _, ok := ps.space.Lookup(m.Cid); !ok {
+		return
+	}
+	cid := CapID(m.Cid) // want `handleMint forges a capability id with a raw CapID conversion`
+	_ = cid
+}
+
+// mintSuppressed documents an intentional conversion.
+func (c *Controller) mintSuppressed(raw uint64) CapID {
+	return CapID(raw) //fractos:capcheck-ok decoder boundary, raw field is the wire encoding of a minted cid
+}
+
+// peekAndYield retains a slab Entry pointer across a task yield: the
+// slot can be recycled while parked.
+func (c *Controller) peekAndYield(t *task, ps *procState, cid CapID) uint8 {
+	e := ps.space.Peek(cid)
+	if e == nil {
+		return 0
+	}
+	t.Sleep(100)
+	return e.Rights // want `peekAndYield uses slab Entry pointer e across a yield point`
+}
+
+// peekNoYield uses the pointer immediately: clean.
+func (c *Controller) peekNoYield(t *task, ps *procState, cid CapID) uint8 {
+	e := ps.space.Peek(cid)
+	if e == nil {
+		return 0
+	}
+	r := e.Rights
+	t.Sleep(100)
+	return r
+}
+
+// peekRefetch re-Peeks after the yield: clean.
+func (c *Controller) peekRefetch(t *task, ps *procState, cid CapID) uint8 {
+	e := ps.space.Peek(cid)
+	if e == nil {
+		return 0
+	}
+	t.Sleep(100)
+	e = ps.space.Peek(cid)
+	if e == nil {
+		return 0
+	}
+	return e.Rights
+}
