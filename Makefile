@@ -14,8 +14,8 @@ vet:
 	gofmt -l . | (! grep .) || (echo "gofmt needed"; exit 1)
 
 # lint runs the repository's custom analyzers — the per-function
-# checks (capcheck, epochguard, panicfree, sendcheck, simdet,
-# statuscheck) plus the interprocedural pair built on the shared call
+# checks (capcheck, epochguard, panicfree, regcheck, sendcheck,
+# simdet, statuscheck) plus the interprocedural pair built on the shared call
 # graph: poolcheck (pooled-resource lifecycle) and allocfree
 # (//fractos:hotpath zero-alloc enforcement); see
 # docs/STATIC_ANALYSIS.md.
@@ -52,8 +52,8 @@ bench:
 # bench-json runs the wall-clock perf suite (internal/perf) and writes
 # the machine-readable report tracked across PRs; see
 # docs/PERFORMANCE.md for the methodology and how to compare runs.
-# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR8.json
-BENCH_OUT ?= BENCH_PR8.json
+# Override the output file per PR: make bench-json BENCH_OUT=BENCH_PR10.json
+BENCH_OUT ?= BENCH_PR10.json
 
 bench-json:
 	$(GO) run ./cmd/fractos-bench -json > $(BENCH_OUT)

@@ -83,13 +83,20 @@ func runPerf(jsonOut bool, names string) {
 	}
 	if jsonOut {
 		// The tracked report also carries the chaos-fv availability
-		// metrics (goodput dip, error rate, MTTR): they are
-		// deterministic virtual-time numbers, so any drift across PRs
-		// is a real behavior change, not benchmark noise.
+		// metrics (goodput dip, error rate, MTTR) and the scaling-route
+		// routing metrics (per-policy tails, shed fractions, autoscaler
+		// MTTR): they are deterministic virtual-time numbers, so any
+		// drift across PRs is a real behavior change, not benchmark
+		// noise.
 		var experiments map[string]float64
 		if len(only) == 0 {
-			if s, ok := exp.Find("chaos-fv"); ok {
-				experiments = s.Run().Metrics
+			experiments = map[string]float64{}
+			for _, id := range []string{"chaos-fv", "scaling-route"} {
+				if s, ok := exp.Find(id); ok {
+					for k, v := range s.Run().Metrics {
+						experiments[k] = v
+					}
+				}
 			}
 		}
 		if err := perf.WriteJSON(os.Stdout, results, experiments); err != nil {

@@ -2,7 +2,8 @@
 // (tools/analyzers/...) over the module: capability-validation order
 // (capcheck), epoch fencing of peer handlers (epochguard), simulator
 // determinism (simdet), wire.Status hygiene and completion protocol
-// (statuscheck), Net.Send delivery-failure hygiene (sendcheck), the
+// (statuscheck), Net.Send delivery-failure hygiene (sendcheck),
+// registry Register/Deregister error hygiene (regcheck), the
 // no-panic policy (panicfree), pooled-resource lifecycle (poolcheck),
 // and hot-path allocation freedom (allocfree). The last two are
 // interprocedural: they share a module-wide call graph built once per
@@ -40,6 +41,7 @@ import (
 	"fractos/tools/analyzers/loader"
 	"fractos/tools/analyzers/panicfree"
 	"fractos/tools/analyzers/poolcheck"
+	"fractos/tools/analyzers/regcheck"
 	"fractos/tools/analyzers/sendcheck"
 	"fractos/tools/analyzers/simdet"
 	"fractos/tools/analyzers/statuscheck"
@@ -52,6 +54,7 @@ var all = []*analysis.Analyzer{
 	epochguard.Analyzer,
 	panicfree.Analyzer,
 	poolcheck.Analyzer,
+	regcheck.Analyzer,
 	sendcheck.Analyzer,
 	simdet.Analyzer,
 	statuscheck.Analyzer,

@@ -127,21 +127,21 @@ func SetupFractOS(t *sim.Task, cl *core.Cluster, cfg Config) (*FractOSApp, error
 	if err := reg.Start(t); err != nil {
 		return nil, err
 	}
-	gpuReg, _, err := reg.GrantTo(gpuAd.P)
+	gpuCl, err := reg.Connect(gpuAd.P)
 	if err != nil {
 		return nil, err
 	}
-	if err := services.RegisterCap(t, gpuAd.P, gpuReg, "gpu.ctxinit", gpuAd.CtxInit); err != nil {
+	if _, err := gpuCl.Register(t, "gpu.ctxinit", gpuAd.CtxInit, NodeGPU); err != nil {
 		return nil, err
 	}
-	fsReg, _, err := reg.GrantTo(fsSvc.P)
+	fsCl, err := reg.Connect(fsSvc.P)
 	if err != nil {
 		return nil, err
 	}
-	if err := services.RegisterCap(t, fsSvc.P, fsReg, "fs.open", fsSvc.Open); err != nil {
+	if _, err := fsCl.Register(t, "fs.open", fsSvc.Open, NodeFS); err != nil {
 		return nil, err
 	}
-	if err := services.RegisterCap(t, fsSvc.P, fsReg, "fs.close", fsSvc.Close); err != nil {
+	if _, err := fsCl.Register(t, "fs.close", fsSvc.Close, NodeFS); err != nil {
 		return nil, err
 	}
 
@@ -149,13 +149,13 @@ func SetupFractOS(t *sim.Task, cl *core.Cluster, cfg Config) (*FractOSApp, error
 	slotBytes := int(cfg.probeBytes()) + cfg.Batch
 	// The arena also holds a batch-file staging buffer for seeding.
 	a.app = proc.Attach(cl, NodeFrontend, "frontend", cfg.Slots*slotBytes+int(cfg.batchBytes())+4096)
-	_, appLookup, err := reg.GrantTo(a.app)
+	appCl, err := reg.Connect(a.app)
 	if err != nil {
 		return nil, err
 	}
 
 	// GPU context: init, load kernel, allocate the buffer pool.
-	ctxInit, err := services.LookupCap(t, a.app, appLookup, "gpu.ctxinit")
+	ctxInit, err := appCl.Resolve(t, "gpu.ctxinit")
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func SetupFractOS(t *sim.Task, cl *core.Cluster, cfg Config) (*FractOSApp, error
 
 	// Seed the database through the FS (write mode), then reopen every
 	// batch file in DAX mode for the datapath.
-	fsOpen, err := services.LookupCap(t, a.app, appLookup, "fs.open")
+	fsOpen, err := appCl.Resolve(t, "fs.open")
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,7 @@ type Cluster struct {
 	Ctrls []*Controller
 
 	placement Placement
+	nodes     int
 	nextProc  cap.ProcID
 }
 
@@ -85,7 +86,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			cfg.Ctrl.RPCTimeout = DefaultRPCTimeout
 		}
 	}
-	cl := &Cluster{K: k, Net: net, placement: cfg.Placement}
+	cl := &Cluster{K: k, Net: net, placement: cfg.Placement, nodes: cfg.Nodes}
 
 	mk := func(id cap.ControllerID, loc fabric.Location) {
 		c := cfg.Ctrl
@@ -114,6 +115,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	return cl
 }
+
+// Nodes returns the deployment's node count.
+func (cl *Cluster) Nodes() int { return cl.nodes }
 
 // CtrlFor returns the Controller managing Processes on a node.
 func (cl *Cluster) CtrlFor(node int) *Controller {

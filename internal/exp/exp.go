@@ -131,6 +131,7 @@ func All() []Spec {
 		{"fig12", "Face verification end-to-end latency", Figure12},
 		{"fig13", "Face verification end-to-end throughput", Figure13},
 		{"scaling-fv", "Open-loop face-verification scaling (offered load sweep)", ScalingFaceVerify},
+		{"scaling-route", "Replicated-service routing under open-loop overload", ScalingRoute},
 		{"chaos-fv", "Availability under injected faults (loss / partition / crash)", ChaosFaceVerify},
 		{"abl-direct", "Ablation: mediated vs composed vs leased storage access", AblationDirectComposition},
 		{"abl-msgs", "Ablation: message complexity, centralized vs distributed", AblationMessageComplexity},

@@ -117,3 +117,29 @@ func TestMessageComplexityMatchesAnalysis(t *testing.T) {
 		t.Errorf("star/chain message ratio = %.2f, analytic %.2f", ratio, analytic)
 	}
 }
+
+// TestScalingRouteShape pins the replicated-service routing gates:
+// feedback routing beats blind round-robin on the p99 tail at 10x the
+// single-replica knee, admission control keeps the accepted-request
+// tail bounded at 100x overload, and the autoscaler repairs a node
+// flap with a measurable virtual-time MTTR.
+func TestScalingRouteShape(t *testing.T) {
+	tb := ScalingRoute()
+	least10, rr10 := tb.Metrics["scaling-route.p99-least-10x-ms"], tb.Metrics["scaling-route.p99-rr-10x-ms"]
+	if least10 <= 0 || rr10 <= 0 || least10 >= rr10 {
+		t.Errorf("p99 at 10x knee: least=%.3fms, rr=%.3fms — least-loaded must beat round-robin", least10, rr10)
+	}
+	// At 100x overload the offered load is far past capacity; the
+	// admission bound (MaxQueue=16 per replica) must keep the accepted
+	// requests' p99 within a small multiple of the full-queue service
+	// time instead of growing with the run length.
+	if p99 := tb.Metrics["scaling-route.p99-least-100x-ms"]; p99 <= 0 || p99 > 40 {
+		t.Errorf("p99 at 100x overload = %.3fms, want bounded (<= 40ms)", p99)
+	}
+	if shed := tb.Metrics["scaling-route.shed-least-100x"]; shed < 0.5 {
+		t.Errorf("shed fraction at 100x = %.2f, want most of the overload refused", shed)
+	}
+	if mttr := tb.Metrics["scaling-route.mttr-ms"]; mttr <= 0 {
+		t.Errorf("mttr-ms = %.3f, want > 0 (node flap repaired)", mttr)
+	}
+}

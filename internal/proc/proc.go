@@ -42,6 +42,7 @@ type Process struct {
 	nextTag  uint64
 	waiters  map[uint64]*sim.Future[*Delivery]
 	subs     map[uint64]*sim.Chan[*Delivery]
+	stale    map[uint64]bool
 	incoming *sim.Chan[*Delivery]
 
 	nextCB   uint64
@@ -103,6 +104,7 @@ func AttachTo(k *sim.Kernel, net *fabric.Net, ctrl *core.Controller, pid cap.Pro
 		pending:  make(map[uint64]*sim.Future[*wire.Completion]),
 		waiters:  make(map[uint64]*sim.Future[*Delivery]),
 		subs:     make(map[uint64]*sim.Chan[*Delivery]),
+		stale:    make(map[uint64]bool),
 		incoming: sim.NewChan[*Delivery](k, name+".deliveries", 0),
 		monitors: make(map[uint64]func(uint8)),
 		alloc:    newAllocator(arenaSize),
@@ -137,6 +139,17 @@ func (p *Process) rxLoop(t *sim.Task) {
 				f.Set(m)
 			}
 		case *wire.Deliver:
+			if p.stale[m.Tag] {
+				// A reply to a call that already timed out (CallTimeout):
+				// ack immediately so the provider-side congestion-window
+				// credit is not leaked, and discard the payload. Any caps
+				// it delegated are children of the caller's revoked reply
+				// Request and die with it.
+				delete(p.stale, m.Tag)
+				//fractos:send-ok a failed ack means the Controller tore us down already
+				p.net.Send(p.ep.ID, p.ctrlEP, &wire.DeliverDone{Seq: m.Seq})
+				continue
+			}
 			dv := &Delivery{p: p, Seq: m.Seq, Tag: m.Tag, Imms: m.Imms, Caps: m.Caps}
 			if ch, ok := p.subs[m.Tag]; ok {
 				ch.Send(t, dv)

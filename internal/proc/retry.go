@@ -56,6 +56,12 @@ func Retryable(err error) bool {
 		// inside it cannot help.
 		return false
 	}
+	if errors.Is(err, ErrCallTimeout) {
+		// The provider sat on the request past the caller's bound —
+		// typically because its Controller died after admitting it.
+		// Another replica (or the rebooted node) can serve a re-issue.
+		return true
+	}
 	var se *wire.StatusError
 	if errors.As(err, &se) {
 		switch se.Status {

@@ -2,6 +2,8 @@ package proc
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 
 	"fractos/internal/sim"
 	"fractos/internal/wire"
@@ -39,6 +41,17 @@ func (d *Delivery) U64(off int) uint64 {
 	}
 	return binary.LittleEndian.Uint64(d.Imms[off:])
 }
+
+// Status decodes the conventional status immediate: RPC-style services
+// (the registry, routed replicas) put a wire.Status in the reply's
+// imm[0:8). For layouts that don't follow the convention the result is
+// whatever those bytes decode to.
+func (d *Delivery) Status() wire.Status { return wire.Status(d.U64(0)) }
+
+// Err converts the conventional status immediate into an error: nil
+// for StatusOK, a *wire.StatusError otherwise — ready for
+// proc.Retryable classification.
+func (d *Delivery) Err() error { return d.Status().Err() }
 
 // Done acknowledges the delivery, releasing one congestion-window
 // credit at the Controller (§4). Safe to call more than once. A send
@@ -116,11 +129,33 @@ func (p *Process) ReplyRequest(t *sim.Task) (Cap, uint64, error) {
 	return c, tag, nil
 }
 
+// ErrCallTimeout is returned by CallTimeout when the reply does not
+// arrive within the deadline. It classifies as transient (Retryable):
+// the usual cause is a provider whose Controller died after admitting
+// the request — its revocation tree died with it, so no failure
+// notification will ever resolve the continuation (§3.6) — and
+// re-issuing against another replica can succeed.
+var ErrCallTimeout = errors.New("proc: call timed out awaiting reply")
+
 // Call performs a synchronous RPC over a Request (§3.4's A→B→A'
 // pattern): it creates a one-shot reply Request, passes it in
 // replySlot, invokes req, and waits for the continuation to be invoked
 // back. The reply delivery is acknowledged automatically.
 func (p *Process) Call(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg, replySlot uint16) (*Delivery, error) {
+	return p.CallTimeout(t, req, imms, args, replySlot, 0)
+}
+
+// CallTimeout is Call with a virtual-time bound on the reply (0 means
+// wait forever). On timeout it revokes the reply Request — a late
+// reply then bounces off the provider's delegated continuation with
+// StatusRevoked instead of being delivered — and arranges for a reply
+// already in flight to be acknowledged and discarded, then returns
+// ErrCallTimeout. Callers that fan requests out over replaceable
+// providers (the route package's balancer) use the bound to detect
+// providers that died *after* admitting a request, the one failure the
+// capability layer cannot signal (a crashed Controller's revocation
+// trees die with it).
+func (p *Process) CallTimeout(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg, replySlot uint16, d sim.Time) (*Delivery, error) {
 	reply, tag, err := p.ReplyRequest(t)
 	if err != nil {
 		return nil, err
@@ -129,16 +164,33 @@ func (p *Process) Call(t *sim.Task, req Cap, imms []wire.ImmArg, args []Arg, rep
 	allArgs := append(append([]Arg(nil), args...), Arg{Slot: replySlot, Cap: reply})
 	if err := p.Invoke(t, req, imms, allArgs); err != nil {
 		delete(p.waiters, tag)
+		_ = p.Drop(t, reply)
 		return nil, err
 	}
-	d, err := f.Wait(t)
+	var dv *Delivery
+	if d > 0 {
+		dv, err = f.WaitTimeout(t, d)
+	} else {
+		dv, err = f.Wait(t)
+	}
 	if err != nil {
+		delete(p.waiters, tag)
+		if errors.Is(err, sim.ErrTimeout) {
+			// Mark the tag stale so a reply that raced the timeout is
+			// acked (not leaked), and revoke the continuation so a reply
+			// not yet sent fails fast at the provider.
+			p.stale[tag] = true
+			if rerr := p.Revoke(t, reply); rerr != nil {
+				return nil, fmt.Errorf("proc: revoke timed-out reply request: %w", rerr)
+			}
+			return nil, ErrCallTimeout
+		}
 		return nil, err
 	}
-	d.Done()
+	dv.Done()
 	// The one-shot reply Request is not reused; drop our entry.
 	_ = p.Drop(t, reply)
-	return d, nil
+	return dv, nil
 }
 
 // CallWith invokes req and waits for an invocation with replyTag to

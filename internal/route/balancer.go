@@ -1,0 +1,222 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"fractos/internal/proc"
+	"fractos/internal/services"
+	"fractos/internal/sim"
+	"fractos/internal/wire"
+)
+
+// ErrNoMembers is returned (wrapped in retry classification as
+// transient) when a service's replica set is empty or every member's
+// breaker is open.
+var ErrNoMembers = errors.New("route: no routable members")
+
+// BalancerStats counts the balancer's routing decisions.
+type BalancerStats struct {
+	Calls     int
+	Shed      int // attempts refused with StatusBackpressure
+	Failovers int // member-fatal errors that invalidated the cached set
+	Resolves  int // ResolveSet round-trips
+}
+
+// Balancer is a Process's resolving handle on a replicated service:
+// it caches the name's replica set, routes each call through a Policy
+// over live load signals, retries transient failures with PR-4's
+// Retry policy, keeps a per-member circuit Breaker, and re-resolves
+// the set when a member dies underneath it (revoked/stale/fenced
+// capabilities classify as member-fatal: the cached set is invalidated
+// and the next attempt routes around the corpse).
+//
+// A Balancer is bound to one client Process and driven only from that
+// Process's tasks (the usual single-kernel cooperative concurrency —
+// no locking).
+type Balancer struct {
+	// Client is the registry handle of the calling Process.
+	Client *services.Client
+	// Name is the replicated service's registry name.
+	Name string
+	// Policy routes calls; nil means round-robin.
+	Policy Policy
+	// Retry is the per-call retry template. Zero Max gets
+	// DefaultCallAttempts; Classify is extended (not replaced) with
+	// member-fatal and circuit-open classification.
+	Retry proc.Retry
+	// Breaker is the per-member circuit-breaker template (Threshold,
+	// Cooldown); each member gets its own instance.
+	Breaker proc.Breaker
+	// AttemptTimeout bounds each routed call in virtual time. A replica
+	// whose Controller crashes after admitting a request can never
+	// reply (its revocation tree died with it, §3.6), so an unbounded
+	// wait would hang the caller forever; the timeout converts that
+	// silence into proc.ErrCallTimeout, which classifies as transient
+	// and fails over. 0 means DefaultAttemptTimeout; negative means
+	// unbounded (only safe when providers cannot crash mid-service).
+	AttemptTimeout sim.Time
+	// Record, when set, appends every routed member id to Picks (the
+	// determinism property tests' oracle).
+	Record bool
+	// Picks is the recorded selection sequence (Record).
+	Picks []uint64
+
+	set      services.Set
+	valid    bool
+	inflight map[uint64]int
+	depth    map[uint64]int
+	breakers map[uint64]*proc.Breaker
+	stats    BalancerStats
+}
+
+// DefaultCallAttempts is Balancer.Call's retry budget when Retry.Max
+// is zero.
+const DefaultCallAttempts = 4
+
+// DefaultAttemptTimeout is the per-attempt reply bound when
+// AttemptTimeout is zero: generous against queueing (MaxQueue × a
+// multi-millisecond service time) yet bounded against a dead provider.
+const DefaultAttemptTimeout = 100 * sim.Time(1000*1000) // 100 ms
+
+// Stats returns the routing counters.
+func (b *Balancer) Stats() BalancerStats { return b.stats }
+
+// Version returns the membership version of the cached set (0 before
+// the first resolve).
+func (b *Balancer) Version() uint64 { return b.set.Version }
+
+// Invalidate drops the cached replica set; the next call re-resolves.
+// Autoscalers call this after changing membership.
+func (b *Balancer) Invalidate() { b.valid = false }
+
+// memberFatal reports whether err says the routed member itself is
+// gone (capability revoked, stale after a Controller reboot, or never
+// installed) — the set must be re-resolved, and the call is worth
+// re-routing to a sibling.
+func memberFatal(err error) bool {
+	return wire.IsStatus(err, wire.StatusRevoked) ||
+		wire.IsStatus(err, wire.StatusStale) ||
+		wire.IsStatus(err, wire.StatusNoCap)
+}
+
+// Call routes one request to the replica set: immediates follow the
+// replica.go work layout (the caller owns imm[0:8) request id and the
+// service-defined bytes from [8:..)). It returns the service's reply
+// delivery on success.
+func (b *Balancer) Call(t *sim.Task, imms []wire.ImmArg, args []proc.Arg) (*proc.Delivery, error) {
+	b.stats.Calls++
+	pol := b.Retry
+	if pol.Max < 1 {
+		pol.Max = DefaultCallAttempts
+	}
+	base := pol.Classify
+	if base == nil {
+		base = proc.Retryable
+	}
+	pol.Classify = func(err error) bool {
+		return base(err) || memberFatal(err) ||
+			errors.Is(err, proc.ErrCircuitOpen) || errors.Is(err, ErrNoMembers)
+	}
+	var out *proc.Delivery
+	err := pol.Do(t, func(t *sim.Task) error {
+		return b.attempt(t, imms, args, &out)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("route: %s: %w", b.Name, err)
+	}
+	return out, nil
+}
+
+func (b *Balancer) attempt(t *sim.Task, imms []wire.ImmArg, args []proc.Arg, out **proc.Delivery) error {
+	m, brk, err := b.pick(t)
+	if err != nil {
+		return err
+	}
+	if !brk.Allow(t.Now()) {
+		return proc.ErrCircuitOpen
+	}
+	to := b.AttemptTimeout
+	if to == 0 {
+		to = DefaultAttemptTimeout
+	} else if to < 0 {
+		to = 0 // explicit opt-out: unbounded
+	}
+	b.inflight[m.ID]++
+	d, err := b.Client.P.CallTimeout(t, m.Cap, imms, args, WorkSlotCont, to)
+	b.inflight[m.ID]--
+	if err == nil {
+		// Reply received; the depth piggyback is fresh either way.
+		b.depth[m.ID] = int(d.U64(8))
+		err = d.Err()
+	}
+	if err == nil {
+		brk.Report(t.Now(), true)
+		*out = d
+		return nil
+	}
+	if wire.IsStatus(err, wire.StatusBackpressure) {
+		b.stats.Shed++
+	}
+	// Permanent application errors don't indict the replica's health;
+	// transient/member-fatal ones do.
+	brk.Report(t.Now(), !proc.Retryable(err) && !memberFatal(err))
+	if memberFatal(err) || wire.IsStatus(err, wire.StatusNoProc) ||
+		errors.Is(err, proc.ErrCallTimeout) {
+		b.stats.Failovers++
+		b.valid = false
+	}
+	return err
+}
+
+// pick resolves the set if needed, builds the policy view over members
+// whose breakers admit traffic, and routes.
+func (b *Balancer) pick(t *sim.Task) (services.Member, *proc.Breaker, error) {
+	if b.inflight == nil {
+		b.inflight = make(map[uint64]int)
+		b.depth = make(map[uint64]int)
+		b.breakers = make(map[uint64]*proc.Breaker)
+	}
+	if b.Policy == nil {
+		b.Policy = &RoundRobin{}
+	}
+	if !b.valid {
+		s, err := b.Client.ResolveSet(t, b.Name)
+		if err != nil {
+			return services.Member{}, nil, err
+		}
+		b.set = s
+		b.valid = true
+		b.stats.Resolves++
+	}
+	view := make([]MemberView, 0, len(b.set.Members))
+	kept := make([]services.Member, 0, len(b.set.Members))
+	for _, m := range b.set.Members {
+		if b.breakerFor(m.ID).State(t.Now()) == "open" {
+			continue
+		}
+		view = append(view, MemberView{ID: m.ID, Node: m.Node, Load: b.inflight[m.ID] + b.depth[m.ID]})
+		kept = append(kept, m)
+	}
+	if len(view) == 0 {
+		// Empty set (service not registered yet, or fully fenced) or
+		// every breaker open: re-resolve on the next attempt.
+		b.valid = false
+		return services.Member{}, nil, ErrNoMembers
+	}
+	i := b.Policy.Pick(view)
+	m := kept[i]
+	if b.Record {
+		b.Picks = append(b.Picks, m.ID)
+	}
+	return m, b.breakerFor(m.ID), nil
+}
+
+func (b *Balancer) breakerFor(id uint64) *proc.Breaker {
+	brk, ok := b.breakers[id]
+	if !ok {
+		brk = &proc.Breaker{Threshold: b.Breaker.Threshold, Cooldown: b.Breaker.Cooldown}
+		b.breakers[id] = brk
+	}
+	return brk
+}

@@ -1,0 +1,78 @@
+package route
+
+import "testing"
+
+func view(loads ...int) []MemberView {
+	v := make([]MemberView, len(loads))
+	for i, l := range loads {
+		v[i] = MemberView{ID: uint64(i + 1), Load: l}
+	}
+	return v
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	v := view(0, 0, 0)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.Pick(v); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+	// Membership shrinks: the cursor stays well-defined modulo the new
+	// size (no panic, no out-of-range pick).
+	v2 := view(0, 0)
+	for i := 0; i < 4; i++ {
+		if got := p.Pick(v2); got < 0 || got >= len(v2) {
+			t.Fatalf("pick after shrink out of range: %d", got)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinTieLowestID(t *testing.T) {
+	p := LeastLoaded{}
+	if got := p.Pick(view(3, 1, 2)); got != 1 {
+		t.Fatalf("min pick = %d, want 1", got)
+	}
+	// Tie on load 1 between members 2 and 3 (ids 2,3): lowest id wins.
+	if got := p.Pick(view(5, 1, 1)); got != 1 {
+		t.Fatalf("tie pick = %d, want 1 (lowest id)", got)
+	}
+	if got := p.Pick(view(7)); got != 0 {
+		t.Fatalf("singleton pick = %d, want 0", got)
+	}
+}
+
+func TestAffinityPrefersLocalUntilSpill(t *testing.T) {
+	p := &Affinity{Node: 1, Spill: 3}
+	v := []MemberView{
+		{ID: 1, Node: 0, Load: 0},
+		{ID: 2, Node: 1, Load: 2},
+		{ID: 3, Node: 1, Load: 1},
+	}
+	// Two local members under the spill bound: least-loaded local (id 3).
+	if got := p.Pick(v); got != 2 {
+		t.Fatalf("local pick = %d, want 2", got)
+	}
+	// Local members at/over the spill bound: fall back to global
+	// least-loaded (id 1, load 0 on a remote node).
+	v[1].Load, v[2].Load = 3, 4
+	if got := p.Pick(v); got != 0 {
+		t.Fatalf("spill pick = %d, want 0", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p := ParsePolicy("least", 0); p.Name() != "least" {
+		t.Fatalf("least -> %s", p.Name())
+	}
+	if p := ParsePolicy("affinity", 2); p.Name() != "affinity" {
+		t.Fatalf("affinity -> %s", p.Name())
+	}
+	if p := ParsePolicy("", 0); p.Name() != "rr" {
+		t.Fatalf("default -> %s", p.Name())
+	}
+	if p := ParsePolicy("bogus", 0); p.Name() != "rr" {
+		t.Fatalf("unknown -> %s", p.Name())
+	}
+}

@@ -47,6 +47,7 @@ type NodeWatch struct {
 	stopped bool
 
 	events []WatchEvent
+	subs   []func(WatchEvent)
 }
 
 // WatchConfig parameterizes the heartbeat failure detector.
@@ -175,10 +176,27 @@ func (w *NodeWatch) StartHeartbeat(cfg WatchConfig) {
 // Stop ends the heartbeat after the current round. Idempotent.
 func (w *NodeWatch) Stop() { w.stopped = true }
 
+// NodeOf maps a ControllerID from a WatchEvent to the node the
+// Controller is deployed on.
+func (w *NodeWatch) NodeOf(id cap.ControllerID) (int, bool) {
+	return nodeOfCtrl(w.cl, id)
+}
+
+// Subscribe registers fn to run synchronously on every detector
+// transition, after WatchConfig.OnEvent. Multiple subscribers fire in
+// subscription order (the registry's fence-pruning and an autoscaler's
+// repair can both observe one detector).
+func (w *NodeWatch) Subscribe(fn func(WatchEvent)) {
+	w.subs = append(w.subs, fn)
+}
+
 func (w *NodeWatch) emit(e WatchEvent) {
 	w.events = append(w.events, e)
 	if w.cfg.OnEvent != nil {
 		w.cfg.OnEvent(e)
+	}
+	for _, fn := range w.subs {
+		fn(e)
 	}
 }
 

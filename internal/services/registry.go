@@ -7,23 +7,49 @@ package services
 
 import (
 	"fmt"
+	"sort"
 
+	"fractos/internal/cap"
 	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
 	"fractos/internal/wire"
 )
 
-// Registry Request tags.
+// Registry Request tags. A name now binds a *set* of members (replicas
+// of one service); the v1 single-cap operations remain decodable so
+// capabilities granted before the redesign keep working for one
+// release (see the deprecation notes below).
 const (
-	// TagRegister binds a name to a capability.
-	// imm[8:16) = name length, [16:..) = name; caps: SlotCap = the
-	// capability, SlotCont = reply (imm[0:8) = status).
+	// TagRegister adds a member to a name's replica set.
+	// imm[0:8) = provider node + 1 (0 = unknown; v1 clients send 0),
+	// [8:16) = name length, [16:..) = name; caps: SlotCap = the member
+	// capability, SlotCont = reply (imm[0:8) = wire.Status, [8:16) =
+	// member id, [16:24) = membership version).
 	TagRegister uint64 = 0x40
-	// TagLookup resolves a name.
+	// TagLookup resolves a name to a single capability — the live
+	// member with the lowest id.
+	//
+	// Deprecated wire surface: v1 clients that only ever hold one
+	// instance per name keep working, but new code should go through
+	// Client.Resolve (same tag) or Client.ResolveSet.
 	// imm[8:16) = name length, [16:..) = name; caps: SlotCont = reply
-	// (imm[0:8) = status; caps SlotCap = the capability).
+	// (imm[0:8) = wire.Status; caps SlotCap = the capability).
 	TagLookup uint64 = 0x41
+	// TagDeregister removes a member from a name's replica set.
+	// imm[0:8) = member id, [8:16) = name length, [16:..) = name;
+	// caps: SlotCont = reply (imm[0:8) = wire.Status, [8:16) =
+	// membership version).
+	TagDeregister uint64 = 0x42
+	// TagResolveSet resolves a name to its full replica set.
+	// imm[8:16) = name length, [16:..) = name; caps: SlotCont = reply
+	// (imm[0:8) = wire.Status, [8:16) = membership version, [16:24) =
+	// member count n, then per member i < n: imm[24+16i:32+16i) =
+	// member id, imm[32+16i:40+16i) = node + 1; the member capability
+	// rides in cap slot i). An unknown name is an empty set, not an
+	// error — resolving before the first replica registers is a benign
+	// race the caller retries through its balancer.
+	TagResolveSet uint64 = 0x43
 )
 
 // Registry argument slots.
@@ -32,62 +58,161 @@ const (
 	SlotCont uint16 = 1
 )
 
-// Registry status codes.
-const (
-	StatusOK       uint64 = 0
-	StatusNotFound uint64 = 1
-	StatusExists   uint64 = 2
-	StatusBadArg   uint64 = 3
-)
+// MaxMembers bounds one name's replica set: the ResolveSet reply
+// carries every member in one invocation (16 immediate bytes and one
+// cap slot each), and the bound keeps the registry's memory O(names).
+const MaxMembers = 32
+
+// Member is one replica of a named service as seen by ResolveSet.
+type Member struct {
+	// ID is the registry-assigned member id, unique across the
+	// registry's lifetime; Deregister takes it back.
+	ID uint64
+	// Node is the provider's node, -1 if the registrant didn't say.
+	// Locality-aware routing keys off it.
+	Node int
+	// Cap is the member's root capability, installed in the resolving
+	// Process's capability space.
+	Cap proc.Cap
+}
+
+// Set is a name's replica set at one membership version. Version
+// increases on every mutation of any name (a registry-global counter),
+// so callers can cache a Set and cheaply detect staleness.
+type Set struct {
+	Version uint64
+	Members []Member
+}
+
+// member is the registry's record of one replica.
+type member struct {
+	id   uint64
+	node int // -1 = unknown
+	cp   proc.Cap
+}
 
 // Registry is the capability name service. Services register their
-// root Requests under well-known names; applications look them up —
-// capability distribution happens through ordinary Request-argument
-// delegation.
+// root Requests under well-known names — N replicas under one name —
+// and applications resolve either one capability (Resolve) or the
+// whole set (ResolveSet). Capability distribution happens through
+// ordinary Request-argument delegation.
+//
+// Membership is pruned three ways: explicit Deregister, revocation of
+// a member capability (a MonitorReceive watcher installed at register
+// time — graceful retire via Bye lands here too), and node fencing
+// (BindWatch subscribes to a NodeWatch and drops every member on a
+// fenced Controller's node).
 type Registry struct {
 	P *proc.Process
 
-	names map[string]proc.Cap
+	cl      *core.Cluster
+	names   map[string][]*member
+	version uint64
+	nextID  uint64
 
-	// Register and Lookup are the registry's root Requests; grant them
-	// to new Processes at attach time.
-	Register proc.Cap
-	Lookup   proc.Cap
+	// Root Requests. Grant them to new Processes via Connect.
+	Register   proc.Cap
+	Lookup     proc.Cap
+	Deregister proc.Cap
+	ResolveSet proc.Cap
 }
 
 // NewRegistry attaches the registry Process on a node.
 func NewRegistry(cl *core.Cluster, node int) *Registry {
 	return &Registry{
 		P:     proc.Attach(cl, node, "registry", 0),
-		names: make(map[string]proc.Cap),
+		cl:    cl,
+		names: make(map[string][]*member),
 	}
 }
 
 // Start creates the root Requests and spawns the serve loop.
 func (r *Registry) Start(t *sim.Task) error {
-	reg, err := r.P.RequestCreate(t, TagRegister, nil, nil)
-	if err != nil {
-		return fmt.Errorf("registry: %w", err)
+	for _, root := range []struct {
+		tag uint64
+		dst *proc.Cap
+	}{
+		{TagRegister, &r.Register},
+		{TagLookup, &r.Lookup},
+		{TagDeregister, &r.Deregister},
+		{TagResolveSet, &r.ResolveSet},
+	} {
+		c, err := r.P.RequestCreate(t, root.tag, nil, nil)
+		if err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+		*root.dst = c
 	}
-	lk, err := r.P.RequestCreate(t, TagLookup, nil, nil)
-	if err != nil {
-		return fmt.Errorf("registry: %w", err)
-	}
-	r.Register, r.Lookup = reg, lk
 	r.P.Kernel().Spawn("registry", r.serve)
 	return nil
 }
 
-// GrantTo hands a Process the registry's root Requests (the only
-// GrantCap a deployment needs; everything else flows through the
-// registry).
-func (r *Registry) GrantTo(p *proc.Process) (reg, lookup proc.Cap, err error) {
-	reg, err = proc.GrantCap(r.P, r.Register, p)
-	if err != nil {
-		return
+// Version returns the registry-global membership version (bumped on
+// every successful Register/Deregister/prune).
+func (r *Registry) Version() uint64 { return r.version }
+
+// Members returns a copy of a name's member list (tests, autoscalers).
+func (r *Registry) Members(name string) []Member {
+	ms := r.names[name]
+	out := make([]Member, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, Member{ID: m.id, Node: m.node, Cap: m.cp})
 	}
-	lookup, err = proc.GrantCap(r.P, r.Lookup, p)
-	return
+	return out
+}
+
+// BindWatch subscribes the registry to a NodeWatch so fenced nodes
+// drop out of every replica set: when the detector fences a
+// Controller, all members registered from its node are pruned. This is
+// the path revocation monitoring cannot cover — a crashed Controller's
+// revocation trees die with it, so no MonitorReceive fires.
+func (r *Registry) BindWatch(w *NodeWatch) {
+	w.Subscribe(func(e WatchEvent) {
+		if e.Kind != WatchFenced {
+			return
+		}
+		if node, ok := nodeOfCtrl(r.cl, e.Ctrl); ok {
+			r.PruneNode(node)
+		}
+	})
+}
+
+// PruneNode removes every member registered from a node (fencing).
+// Names are visited in sorted order so the version sequence is
+// deterministic.
+func (r *Registry) PruneNode(node int) {
+	keys := make([]string, 0, len(r.names))
+	for name := range r.names {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		ms := r.names[name]
+		kept := ms[:0]
+		for _, m := range ms {
+			if m.node != node {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) != len(ms) {
+			r.names[name] = kept
+			r.version++
+		}
+	}
+}
+
+// removeMember drops one member by id; idempotent (revocation watchers
+// and explicit Deregister may race).
+func (r *Registry) removeMember(name string, id uint64) bool {
+	ms := r.names[name]
+	for i, m := range ms {
+		if m.id == id {
+			r.names[name] = append(ms[:i], ms[i+1:]...)
+			r.version++
+			return true
+		}
+	}
+	return false
 }
 
 func (r *Registry) serve(t *sim.Task) {
@@ -103,14 +228,20 @@ func (r *Registry) serve(t *sim.Task) {
 
 func (r *Registry) handle(t *sim.Task, d *proc.Delivery) {
 	cont, haveCont := d.Cap(SlotCont)
-	reply := func(st uint64, args []proc.Arg) {
-		if haveCont {
-			r.P.Invoke(t, cont, []wire.ImmArg{proc.U64Arg(0, st)}, args)
+	reply := func(st wire.Status, imms []wire.ImmArg, args []proc.Arg) {
+		if !haveCont {
+			return
+		}
+		all := append([]wire.ImmArg{proc.U64Arg(0, uint64(st))}, imms...)
+		if err := r.P.Invoke(t, cont, all, args); err != nil {
+			// The resolver died between asking and answering; its
+			// Controller already cleaned up the continuation.
+			return
 		}
 	}
 	nameLen := int(d.U64(8))
 	if nameLen <= 0 || 16+nameLen > len(d.Imms) {
-		reply(StatusBadArg, nil)
+		reply(wire.StatusBadArg, nil, nil)
 		return
 	}
 	name := string(d.Imms[16 : 16+nameLen])
@@ -118,23 +249,76 @@ func (r *Registry) handle(t *sim.Task, d *proc.Delivery) {
 	case TagRegister:
 		c, ok := d.Cap(SlotCap)
 		if !ok {
-			reply(StatusBadArg, nil)
+			reply(wire.StatusBadArg, nil, nil)
 			return
 		}
-		if _, dup := r.names[name]; dup {
-			reply(StatusExists, nil)
+		ms := r.names[name]
+		if len(ms) >= MaxMembers {
+			reply(wire.StatusQuota, nil, nil)
 			return
 		}
-		r.names[name] = c
-		reply(StatusOK, nil)
+		r.nextID++
+		m := &member{id: r.nextID, node: int(d.U64(0)) - 1, cp: c}
+		r.names[name] = append(ms, m)
+		r.version++
+		// Auto-prune on revocation: a replica that exits gracefully
+		// (Bye) or has its root revoked disappears from the set without
+		// a Deregister round-trip.
+		if err := r.P.MonitorReceive(t, c, func() {
+			r.removeMember(name, m.id)
+		}); err != nil {
+			r.removeMember(name, m.id)
+			reply(wire.StatusAborted, nil, nil)
+			return
+		}
+		reply(wire.StatusOK, []wire.ImmArg{
+			proc.U64Arg(8, m.id),
+			proc.U64Arg(16, r.version),
+		}, nil)
+	case TagDeregister:
+		if !r.removeMember(name, d.U64(0)) {
+			reply(wire.StatusUnknownObj, nil, nil)
+			return
+		}
+		reply(wire.StatusOK, []wire.ImmArg{proc.U64Arg(8, r.version)}, nil)
 	case TagLookup:
-		c, ok := r.names[name]
-		if !ok {
-			reply(StatusNotFound, nil)
+		ms := r.names[name]
+		if len(ms) == 0 {
+			reply(wire.StatusUnknownObj, nil, nil)
 			return
 		}
-		reply(StatusOK, []proc.Arg{{Slot: SlotCap, Cap: c}})
+		best := ms[0]
+		for _, m := range ms[1:] {
+			if m.id < best.id {
+				best = m
+			}
+		}
+		reply(wire.StatusOK, nil, []proc.Arg{{Slot: SlotCap, Cap: best.cp}})
+	case TagResolveSet:
+		ms := r.names[name]
+		imms := []wire.ImmArg{
+			proc.U64Arg(8, r.version),
+			proc.U64Arg(16, uint64(len(ms))),
+		}
+		args := make([]proc.Arg, 0, len(ms))
+		for i, m := range ms {
+			imms = append(imms,
+				proc.U64Arg(24+16*i, m.id),
+				proc.U64Arg(32+16*i, uint64(m.node+1)))
+			args = append(args, proc.Arg{Slot: uint16(i), Cap: m.cp})
+		}
+		reply(wire.StatusOK, imms, args)
 	}
+}
+
+// nodeOfCtrl maps a ControllerID to the node it is deployed on.
+func nodeOfCtrl(cl *core.Cluster, id cap.ControllerID) (int, bool) {
+	for _, c := range cl.Ctrls {
+		if c.ID() == id {
+			return c.Loc().Node, true
+		}
+	}
+	return 0, false
 }
 
 // nameArgs builds the immediate arguments for a name.
@@ -145,31 +329,112 @@ func nameArgs(name string) []wire.ImmArg {
 	}
 }
 
-// RegisterCap publishes a capability under a name via a Process's
-// registry Request.
-func RegisterCap(t *sim.Task, p *proc.Process, registerReq proc.Cap, name string, c proc.Cap) error {
-	d, err := p.Call(t, registerReq, nameArgs(name), []proc.Arg{{Slot: SlotCap, Cap: c}}, SlotCont)
-	if err != nil {
-		return err
+// Client is a Process's handle on the registry: the four root Requests
+// granted at Connect time plus the typed operations over them. It
+// replaces the v1 free functions (RegisterCap/LookupCap) — one handle
+// per Process, created once at bootstrap, used for every
+// registration and resolution that Process performs.
+type Client struct {
+	// P is the Process this handle is bound to; all calls issue from
+	// its capability space.
+	P *proc.Process
+
+	register   proc.Cap
+	lookup     proc.Cap
+	deregister proc.Cap
+	resolveSet proc.Cap
+}
+
+// Connect grants a Process the registry's root Requests and returns
+// its Client handle (the only GrantCap a deployment needs; everything
+// else flows through the registry).
+func (r *Registry) Connect(p *proc.Process) (*Client, error) {
+	c := &Client{P: p}
+	for _, root := range []struct {
+		src proc.Cap
+		dst *proc.Cap
+	}{
+		{r.Register, &c.register},
+		{r.Lookup, &c.lookup},
+		{r.Deregister, &c.deregister},
+		{r.ResolveSet, &c.resolveSet},
+	} {
+		g, err := proc.GrantCap(r.P, root.src, p)
+		if err != nil {
+			return nil, fmt.Errorf("registry: connect: %w", err)
+		}
+		*root.dst = g
 	}
-	if st := d.U64(0); st != StatusOK {
-		return fmt.Errorf("registry: register %q: status %d", name, st)
+	return c, nil
+}
+
+// Register adds cp as a member of name's replica set. node is the
+// provider's node for locality-aware routing (pass -1 if unknown). It
+// returns the registry-assigned member id, the ticket Deregister takes
+// back.
+func (c *Client) Register(t *sim.Task, name string, cp proc.Cap, node int) (uint64, error) {
+	imms := append([]wire.ImmArg{proc.U64Arg(0, uint64(node+1))}, nameArgs(name)...)
+	d, err := c.P.Call(t, c.register, imms, []proc.Arg{{Slot: SlotCap, Cap: cp}}, SlotCont)
+	if err != nil {
+		return 0, fmt.Errorf("registry: register %q: %w", name, err)
+	}
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("registry: register %q: %w", name, err)
+	}
+	return d.U64(8), nil
+}
+
+// Deregister removes the member id from name's replica set.
+func (c *Client) Deregister(t *sim.Task, name string, id uint64) error {
+	imms := append([]wire.ImmArg{proc.U64Arg(0, id)}, nameArgs(name)...)
+	d, err := c.P.Call(t, c.deregister, imms, nil, SlotCont)
+	if err != nil {
+		return fmt.Errorf("registry: deregister %q: %w", name, err)
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("registry: deregister %q: %w", name, err)
 	}
 	return nil
 }
 
-// LookupCap resolves a name via a Process's registry Request.
-func LookupCap(t *sim.Task, p *proc.Process, lookupReq proc.Cap, name string) (proc.Cap, error) {
-	d, err := p.Call(t, lookupReq, nameArgs(name), nil, SlotCont)
+// Resolve resolves a name to a single capability (the lowest-id live
+// member). Unknown names are permanent failures
+// (wire.StatusUnknownObj); replicated services should use ResolveSet
+// and route instead.
+func (c *Client) Resolve(t *sim.Task, name string) (proc.Cap, error) {
+	d, err := c.P.Call(t, c.lookup, nameArgs(name), nil, SlotCont)
 	if err != nil {
-		return proc.Cap{}, err
+		return proc.Cap{}, fmt.Errorf("registry: resolve %q: %w", name, err)
 	}
-	if st := d.U64(0); st != StatusOK {
-		return proc.Cap{}, fmt.Errorf("registry: lookup %q: status %d", name, st)
+	if err := d.Err(); err != nil {
+		return proc.Cap{}, fmt.Errorf("registry: resolve %q: %w", name, err)
 	}
-	c, ok := d.Cap(SlotCap)
+	cp, ok := d.Cap(SlotCap)
 	if !ok {
-		return proc.Cap{}, fmt.Errorf("registry: lookup %q: no capability in reply", name)
+		return proc.Cap{}, fmt.Errorf("registry: resolve %q: no capability in reply", name)
 	}
-	return c, nil
+	return cp, nil
+}
+
+// ResolveSet resolves a name to its full replica set plus the
+// membership version. An unknown name is an empty set (the caller is
+// usually racing a replica's first registration and retries).
+func (c *Client) ResolveSet(t *sim.Task, name string) (Set, error) {
+	d, err := c.P.Call(t, c.resolveSet, nameArgs(name), nil, SlotCont)
+	if err != nil {
+		return Set{}, fmt.Errorf("registry: resolve-set %q: %w", name, err)
+	}
+	if err := d.Err(); err != nil {
+		return Set{}, fmt.Errorf("registry: resolve-set %q: %w", name, err)
+	}
+	s := Set{Version: d.U64(8)}
+	n := int(d.U64(16))
+	for i := 0; i < n; i++ {
+		m := Member{ID: d.U64(24 + 16*i), Node: int(d.U64(32+16*i)) - 1}
+		if cp, ok := d.Cap(uint16(i)); ok {
+			m.Cap = cp
+		}
+		s.Members = append(s.Members, m)
+	}
+	return s, nil
 }

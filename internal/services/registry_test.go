@@ -7,6 +7,7 @@ import (
 	"fractos/internal/core"
 	"fractos/internal/proc"
 	"fractos/internal/sim"
+	"fractos/internal/wire"
 )
 
 func runCluster(t *testing.T, fn func(tk *sim.Task, cl *core.Cluster)) {
@@ -21,38 +22,47 @@ func runCluster(t *testing.T, fn func(tk *sim.Task, cl *core.Cluster)) {
 	}
 }
 
-func TestRegisterThenLookup(t *testing.T) {
+func startRegistry(t *testing.T, tk *sim.Task, cl *core.Cluster) *Registry {
+	t.Helper()
+	reg := NewRegistry(cl, 0)
+	if err := reg.Start(tk); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func connect(t *testing.T, tk *sim.Task, reg *Registry, p *proc.Process) *Client {
+	t.Helper()
+	c, err := reg.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegisterThenResolve(t *testing.T) {
 	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
-		reg := NewRegistry(cl, 0)
-		if err := reg.Start(tk); err != nil {
-			t.Fatal(err)
-		}
+		reg := startRegistry(t, tk, cl)
 		// A service on node 1 registers its root Request.
 		svc := proc.Attach(cl, 1, "svc", 0)
-		svcReg, _, err := reg.GrantTo(svc)
-		if err != nil {
-			t.Fatal(err)
-		}
+		svcCl := connect(t, tk, reg, svc)
 		root, err := svc.RequestCreate(tk, 99, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := RegisterCap(tk, svc, svcReg, "svc.root", root); err != nil {
+		if _, err := svcCl.Register(tk, "svc.root", root, 1); err != nil {
 			t.Fatal(err)
 		}
 
-		// An app on node 2 looks it up and invokes it.
+		// An app on node 2 resolves it and invokes it.
 		app := proc.Attach(cl, 2, "app", 0)
-		_, appLookup, err := reg.GrantTo(app)
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := LookupCap(tk, app, appLookup, "svc.root")
+		appCl := connect(t, tk, reg, app)
+		got, err := appCl.Resolve(tk, "svc.root")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := app.Invoke(tk, got, nil, nil); err != nil {
-			t.Fatalf("invoke looked-up cap: %v", err)
+			t.Fatalf("invoke resolved cap: %v", err)
 		}
 		d, ok := svc.Receive(tk)
 		if !ok || d.Tag != 99 {
@@ -62,34 +72,154 @@ func TestRegisterThenLookup(t *testing.T) {
 	})
 }
 
-func TestLookupMissingName(t *testing.T) {
+func TestResolveMissingName(t *testing.T) {
 	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
-		reg := NewRegistry(cl, 0)
-		if err := reg.Start(tk); err != nil {
-			t.Fatal(err)
-		}
+		reg := startRegistry(t, tk, cl)
 		app := proc.Attach(cl, 1, "app", 0)
-		_, lookup, _ := reg.GrantTo(app)
-		if _, err := LookupCap(tk, app, lookup, "ghost"); err == nil {
-			t.Fatal("lookup of unregistered name succeeded")
+		appCl := connect(t, tk, reg, app)
+		_, err := appCl.Resolve(tk, "ghost")
+		if err == nil {
+			t.Fatal("resolve of unregistered name succeeded")
+		}
+		if !wire.IsStatus(err, wire.StatusUnknownObj) {
+			t.Fatalf("resolve error = %v, want StatusUnknownObj", err)
+		}
+		// An unknown name resolves to an *empty set*, not an error —
+		// clients racing a service's first registration retry through
+		// their balancer.
+		s, err := appCl.ResolveSet(tk, "ghost")
+		if err != nil {
+			t.Fatalf("resolve-set of unknown name: %v", err)
+		}
+		if len(s.Members) != 0 {
+			t.Fatalf("resolve-set of unknown name: %d members", len(s.Members))
 		}
 	})
 }
 
-func TestDuplicateRegisterRejected(t *testing.T) {
+func TestReplicaSetMembership(t *testing.T) {
 	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
-		reg := NewRegistry(cl, 0)
-		if err := reg.Start(tk); err != nil {
+		reg := startRegistry(t, tk, cl)
+		svc1 := proc.Attach(cl, 1, "svc1", 0)
+		svc2 := proc.Attach(cl, 2, "svc2", 0)
+		cl1 := connect(t, tk, reg, svc1)
+		cl2 := connect(t, tk, reg, svc2)
+		r1, _ := svc1.RequestCreate(tk, 7, nil, nil)
+		r2, _ := svc2.RequestCreate(tk, 7, nil, nil)
+		id1, err := cl1.Register(tk, "svc", r1, 1)
+		if err != nil {
 			t.Fatal(err)
 		}
+		id2, err := cl2.Register(tk, "svc", r2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id1 == id2 {
+			t.Fatalf("member ids collide: %d", id1)
+		}
+
+		app := proc.Attach(cl, 0, "app", 0)
+		appCl := connect(t, tk, reg, app)
+		s, err := appCl.ResolveSet(tk, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Members) != 2 {
+			t.Fatalf("members = %d, want 2", len(s.Members))
+		}
+		if s.Members[0].ID != id1 || s.Members[0].Node != 1 ||
+			s.Members[1].ID != id2 || s.Members[1].Node != 2 {
+			t.Fatalf("members = %+v", s.Members)
+		}
+		v1 := s.Version
+
+		// Deregister removes the member and bumps the version.
+		if err := cl1.Deregister(tk, "svc", id1); err != nil {
+			t.Fatal(err)
+		}
+		s, err = appCl.ResolveSet(tk, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Members) != 1 || s.Members[0].ID != id2 {
+			t.Fatalf("after deregister: members = %+v", s.Members)
+		}
+		if s.Version <= v1 {
+			t.Fatalf("version did not advance: %d -> %d", v1, s.Version)
+		}
+
+		// Double deregister is a permanent UnknownObj.
+		err = cl1.Deregister(tk, "svc", id1)
+		if !wire.IsStatus(err, wire.StatusUnknownObj) {
+			t.Fatalf("double deregister = %v, want StatusUnknownObj", err)
+		}
+	})
+}
+
+// TestByePrunesMembership: a replica that exits gracefully disappears
+// from its set without a Deregister round-trip, via the revocation
+// monitor the registry installs at register time.
+func TestByePrunesMembership(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		reg := startRegistry(t, tk, cl)
 		svc := proc.Attach(cl, 1, "svc", 0)
-		svcReg, _, _ := reg.GrantTo(svc)
-		root, _ := svc.RequestCreate(tk, 1, nil, nil)
-		if err := RegisterCap(tk, svc, svcReg, "dup", root); err != nil {
+		svcCl := connect(t, tk, reg, svc)
+		root, _ := svc.RequestCreate(tk, 7, nil, nil)
+		if _, err := svcCl.Register(tk, "svc", root, 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := RegisterCap(tk, svc, svcReg, "dup", root); err == nil {
-			t.Fatal("duplicate registration succeeded")
+		svc.Bye()
+		tk.Sleep(500 * 1000) // let the revocation propagate
+
+		app := proc.Attach(cl, 0, "app", 0)
+		appCl := connect(t, tk, reg, app)
+		s, err := appCl.ResolveSet(tk, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Members) != 0 {
+			t.Fatalf("members after Bye = %+v, want none", s.Members)
+		}
+	})
+}
+
+// TestFencedReplicaPrunedFromSet is the regression test for the
+// unbounded-names bug: a replica on a fenced node must disappear from
+// ResolveSet (a crashed Controller's revocation trees die with it, so
+// this is the NodeWatch-driven prune path, not the monitor path).
+func TestFencedReplicaPrunedFromSet(t *testing.T) {
+	runCluster(t, func(tk *sim.Task, cl *core.Cluster) {
+		reg := startRegistry(t, tk, cl)
+		w := NewNodeWatch(cl)
+		reg.BindWatch(w)
+
+		svc1 := proc.Attach(cl, 1, "svc1", 0)
+		svc2 := proc.Attach(cl, 2, "svc2", 0)
+		cl1 := connect(t, tk, reg, svc1)
+		cl2 := connect(t, tk, reg, svc2)
+		r1, _ := svc1.RequestCreate(tk, 7, nil, nil)
+		r2, _ := svc2.RequestCreate(tk, 7, nil, nil)
+		if _, err := cl1.Register(tk, "svc", r1, 1); err != nil {
+			t.Fatal(err)
+		}
+		id2, err := cl2.Register(tk, "svc", r2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fence node 1 the way the heartbeat detector would.
+		w.emit(WatchEvent{At: tk.Now(), Kind: WatchFenced, Ctrl: cl.CtrlFor(1).ID()})
+		cl.CtrlFor(1).Crash()
+		tk.Sleep(500 * 1000)
+
+		app := proc.Attach(cl, 0, "app", 0)
+		appCl := connect(t, tk, reg, app)
+		s, err := appCl.ResolveSet(tk, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Members) != 1 || s.Members[0].ID != id2 {
+			t.Fatalf("members after fence = %+v, want only member %d", s.Members, id2)
 		}
 	})
 }

@@ -1,5 +1,7 @@
 package wire
 
+import "errors"
+
 // Status is the result code of a FractOS operation.
 type Status uint8
 
@@ -89,8 +91,9 @@ type StatusError struct{ Status Status }
 
 func (e *StatusError) Error() string { return "fractos: " + e.Status.String() }
 
-// IsStatus reports whether err is a StatusError with the given code.
+// IsStatus reports whether err is (or wraps) a StatusError with the
+// given code.
 func IsStatus(err error, s Status) bool {
-	se, ok := err.(*StatusError)
-	return ok && se.Status == s
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == s
 }

@@ -1,0 +1,128 @@
+// Package regcheck is an errcheck for the service registry's
+// membership surface: (*services.Client).Register and
+// (*services.Client).Deregister.
+//
+// A dropped Register error leaves a replica serving without a
+// membership entry — invisible to every balancer — while a dropped
+// Deregister error is precisely the unbounded-names leak the
+// replicated-service layer exists to prevent: the member stays in the
+// name's set after the replica is gone, and clients keep routing to a
+// corpse until a fence or monitor prunes it (if one ever does; a
+// graceful retire is exactly the path those don't cover). Callers must
+// branch on the error — tolerating wire.StatusUnknownObj where a
+// concurrent fence may have pruned the member first is fine, but that
+// decision has to be written down.
+//
+// A deliberate drop needs a `fractos:reg-ok <reason>` comment on the
+// call's line.
+package regcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fractos/tools/analyzers/analysis"
+)
+
+// Analyzer is the regcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "regcheck",
+	Doc:  "services.Client Register/Deregister errors must be checked; a dropped Deregister leaks registry membership",
+	Run:  run,
+}
+
+const suppression = "fractos:reg-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call)
+				}
+			case *ast.GoStmt:
+				report(pass, n.Call)
+			case *ast.DeferStmt:
+				report(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBlankAssign flags calls whose error result lands in the blank
+// identifier: `_ = c.Deregister(...)` and `_, _ = c.Register(...)`
+// (Register's error is the trailing tuple component, so only a blank
+// in the last position counts as dropping it).
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	report(pass, call)
+}
+
+// report flags call if it is services.Client's Register or Deregister
+// (resolved by method set, so wrappers and embedded fields are covered).
+func report(pass *analysis.Pass, call *ast.CallExpr) {
+	name, ok := isRegistryCall(pass.TypesInfo, call)
+	if !ok || pass.Suppressed(call.Pos(), suppression) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of Client.%s is dropped; an unchecked %s leaks registry membership (route traffic to a corpse or serve unregistered)",
+		name, name)
+}
+
+// isRegistryCall reports whether the call's callee is the Register or
+// Deregister method of services.Client, returning the method name.
+func isRegistryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if name != "Register" && name != "Deregister" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Client" {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if pkg.Path() != "services" && !strings.HasSuffix(pkg.Path(), "/services") {
+		return "", false
+	}
+	return name, true
+}

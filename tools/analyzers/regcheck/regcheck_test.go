@@ -1,0 +1,12 @@
+package regcheck_test
+
+import (
+	"testing"
+
+	"fractos/tools/analyzers/analysistest"
+	"fractos/tools/analyzers/regcheck"
+)
+
+func TestRegcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", regcheck.Analyzer, "rc/regcheck")
+}

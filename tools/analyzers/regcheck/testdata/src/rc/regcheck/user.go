@@ -1,0 +1,32 @@
+// Package user exercises the regcheck analyzer.
+package user
+
+import "services"
+
+// wrapped embeds *services.Client so method-set resolution (not
+// syntax) is exercised.
+type wrapped struct{ *services.Client }
+
+func drops(t *services.Task, c *services.Client, w wrapped, cp services.Cap) {
+	c.Deregister(t, "svc", 1)          // want `error result of Client.Deregister is dropped`
+	_ = c.Deregister(t, "svc", 1)      // want `error result of Client.Deregister is dropped`
+	go c.Deregister(t, "svc", 1)       // want `error result of Client.Deregister is dropped`
+	defer c.Deregister(t, "svc", 1)    // want `error result of Client.Deregister is dropped`
+	w.Deregister(t, "svc", 1)          // want `error result of Client.Deregister is dropped`
+	c.Register(t, "svc", cp, 0)        // want `error result of Client.Register is dropped`
+	_, _ = c.Register(t, "svc", cp, 0) // want `error result of Client.Register is dropped`
+
+	//fractos:reg-ok retire races the fence; UnknownObj is pruned-first and benign
+	c.Deregister(t, "svc", 1)
+
+	if err := c.Deregister(t, "svc", 1); err != nil {
+		return
+	}
+	id, err := c.Register(t, "svc", cp, 0)
+	_, _ = id, err
+	// The id may be blanked as long as the error is kept.
+	_, err2 := c.Register(t, "svc", cp, 0)
+	_ = err2
+	// Other Client methods are not this analyzer's business.
+	c.Resolve(t, "svc")
+}

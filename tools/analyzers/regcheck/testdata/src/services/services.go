@@ -1,0 +1,25 @@
+// Package services mirrors the repo's registry Client surface for the
+// regcheck testdata.
+package services
+
+// Cap stands in for proc.Cap.
+type Cap struct{}
+
+// Task stands in for *sim.Task.
+type Task struct{}
+
+// Client mirrors the real registry handle.
+type Client struct{}
+
+// Register mirrors the real signature: member id plus error.
+func (c *Client) Register(t *Task, name string, cp Cap, node int) (uint64, error) {
+	return 0, nil
+}
+
+// Deregister mirrors the real signature.
+func (c *Client) Deregister(t *Task, name string, id uint64) error { return nil }
+
+// Resolve returns no error tuple the analyzer cares about beyond the
+// trailing error; it is NOT Register/Deregister and must not be
+// flagged.
+func (c *Client) Resolve(t *Task, name string) (Cap, error) { return Cap{}, nil }
